@@ -1,0 +1,130 @@
+#ifndef LIOD_BENCH_BENCH_COMMON_H_
+#define LIOD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/index_factory.h"
+#include "storage/disk_model.h"
+#include "workload/datasets.h"
+#include "workload/runner.h"
+#include "workload/workloads.h"
+
+namespace liod::bench {
+
+/// Shared benchmark configuration. Defaults are scaled down from the paper's
+/// setup (200M-key search sets, 10M-op write sets) so every binary completes
+/// in well under a minute; pass --search-keys / --write-ops etc. to scale up
+/// arbitrarily. Relative shapes are height/density-driven and already
+/// paper-like at these sizes (see EXPERIMENTS.md).
+struct BenchArgs {
+  std::size_t search_keys = 300'000;  ///< bulkload size for search workloads
+  std::size_t search_ops = 20'000;    ///< measured search operations
+  std::size_t write_bulk = 60'000;    ///< bulkload before write workloads
+  std::size_t write_ops = 60'000;     ///< measured mixed/write operations
+  std::uint64_t seed = 42;
+  std::vector<std::string> datasets = RepresentativeDatasetNames();  // fb osm ycsb
+  std::vector<std::string> indexes = StudiedIndexNames();
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", a.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (a == "--search-keys") {
+        args.search_keys = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--search-ops") {
+        args.search_ops = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--write-bulk") {
+        args.write_bulk = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--write-ops") {
+        args.write_ops = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--seed") {
+        args.seed = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--datasets") {
+        args.datasets.clear();
+        std::string list = next();
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+          const std::size_t comma = list.find(',', pos);
+          args.datasets.push_back(list.substr(pos, comma - pos));
+          pos = comma == std::string::npos ? comma : comma + 1;
+        }
+      } else if (a == "--help" || a == "-h") {
+        std::printf(
+            "flags: --search-keys N --search-ops N --write-bulk N --write-ops N"
+            " --seed N --datasets a,b,c\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+/// Paper-default index parameters at bench scale: 4 KB blocks, error bound
+/// 64, 256-record FITing buffers, 585-record PGM buffer; ALEX's maximum data
+/// node scaled so node count / tree shape matches the paper's regime.
+inline IndexOptions BenchOptions() {
+  IndexOptions options;
+  options.alex_max_data_node_slots = 4096;
+  return options;
+}
+
+/// Builds the workload and runs it; aborts the binary on error (benchmarks
+/// have no recovery story).
+inline RunResult MustRun(DiskIndex* index, const Workload& workload,
+                         RunnerConfig config = {}) {
+  RunResult result;
+  const Status status = RunWorkload(index, workload, config, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s on %s: %s\n", "workload", index->name().c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+/// ---- tiny fixed-width table printer --------------------------------------
+
+inline void PrintRule(int columns, int width = 12) {
+  for (int c = 0; c < columns; ++c) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar(c + 1 == columns ? '\n' : '+');
+  }
+}
+
+inline void PrintCell(const std::string& s, int width = 12) {
+  std::printf("%-*s", width, s.c_str());
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline std::string FmtMiB(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace liod::bench
+
+#endif  // LIOD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+// Reproduces Figure 4: average fetched block count per search query
+// (Lookup-Only and Scan-Only workloads), entire index disk-resident.
+
+#include "search_runs.h"
+
+using namespace liod;
+using namespace liod::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const IndexOptions options = BenchOptions();
+
+  std::printf("Figure 4: average fetched blocks per search query (bulk=%zu, ops=%zu)\n\n",
+              args.search_keys, args.search_ops);
+  std::printf("%-18s", "dataset/workload");
+  for (const auto& idx : args.indexes) std::printf(" %10s", idx.c_str());
+  std::printf("\n");
+
+  for (const auto& dataset : args.datasets) {
+    std::map<std::string, SearchRun> runs;
+    for (const auto& idx : args.indexes) {
+      runs.emplace(idx, RunSearchPair(idx, dataset, args, options));
+    }
+    std::printf("%-18s", (dataset + " lookup").c_str());
+    for (const auto& idx : args.indexes) {
+      std::printf(" %10.2f", runs.at(idx).lookup.AvgBlocksReadPerOp());
+    }
+    std::printf("\n%-18s", (dataset + " scan").c_str());
+    for (const auto& idx : args.indexes) {
+      std::printf(" %10.2f", runs.at(idx).scan.AvgBlocksReadPerOp());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check vs paper: LIPP fewest lookup blocks, ALEX/LIPP most scan\n"
+      "blocks; B+-tree equals its height on lookups.\n");
+  return 0;
+}

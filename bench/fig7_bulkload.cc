@@ -1,0 +1,50 @@
+// Reproduces Figure 7: bulkload cost (modeled time on HDD: CPU + block
+// writes) and resulting on-disk index size per index and dataset.
+
+#include "bench_common.h"
+
+using namespace liod;
+using namespace liod::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const IndexOptions options = BenchOptions();
+  const DiskModel hdd = DiskModel::Hdd();
+
+  std::printf("Figure 7: bulkload time (modeled s, HDD) and index size (MiB), bulk=%zu\n\n",
+              args.search_keys);
+  std::printf("%-10s", "dataset");
+  for (const auto& idx : args.indexes) std::printf(" %16s", idx.c_str());
+  std::printf("\n");
+
+  for (const auto& dataset : args.datasets) {
+    const auto records = MakeDatasetRecords(dataset, args.search_keys, args.seed);
+    std::printf("%-10s", dataset.c_str());
+    for (const auto& idx : args.indexes) {
+      auto index = MakeIndex(idx, options);
+      const IoStatsSnapshot before = index->io_stats().snapshot();
+      const auto start = std::chrono::steady_clock::now();
+      const Status status = index->Bulkload(records);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bulkload failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      const double cpu_us =
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const IoStatsSnapshot io = index->io_stats().snapshot() - before;
+      const double modeled_s = (cpu_us + hdd.IoMicros(io)) / 1e6;
+      const IndexStats stats = index->GetIndexStats();
+      char cell[40];
+      std::snprintf(cell, sizeof(cell), "%.1fs/%sMiB", modeled_s,
+                    FmtMiB(stats.disk_bytes).c_str());
+      std::printf(" %16s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check vs paper (O11-O12): PGM smallest, LIPP largest (gapped 5x\n"
+      "nodes); every learned index costs more to build than the B+-tree.\n");
+  return 0;
+}

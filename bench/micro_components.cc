@@ -1,0 +1,105 @@
+// Component microbenchmarks (google-benchmark): the CPU-side primitives the
+// on-disk indexes are built from. These complement the table/figure benches,
+// which measure block I/O.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree_index.h"
+#include "common/linear_model.h"
+#include "common/random.h"
+#include "segmentation/fmcd.h"
+#include "segmentation/greedy_segmentation.h"
+#include "segmentation/piecewise_linear.h"
+#include "storage/block_device.h"
+#include "storage/buffer_pool.h"
+#include "workload/datasets.h"
+
+namespace liod {
+namespace {
+
+std::vector<Key> BenchKeys(std::size_t n) { return MakeDataset("fb", n, 7); }
+
+void BM_LinearModelPredict(benchmark::State& state) {
+  const auto keys = BenchKeys(1024);
+  const LinearModel model = LinearModel::LeastSquares(keys.begin(), 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictClamped(keys[i++ & 1023], 4096));
+  }
+}
+BENCHMARK(BM_LinearModelPredict);
+
+void BM_OptimalPla(benchmark::State& state) {
+  const auto keys = BenchKeys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildOptimalPla(keys, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OptimalPla)->Arg(10'000)->Arg(100'000);
+
+void BM_GreedySegmentation(benchmark::State& state) {
+  const auto keys = BenchKeys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildGreedySegments(keys, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedySegmentation)->Arg(10'000)->Arg(100'000);
+
+void BM_Fmcd(benchmark::State& state) {
+  const auto keys = BenchKeys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildFmcd(keys, static_cast<std::int64_t>(keys.size()) * 2));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fmcd)->Arg(10'000)->Arg(100'000);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  MemoryBlockDevice dev(4096);
+  (void)dev.Grow(16);
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, 16);
+  std::vector<std::byte> out(4096);
+  (void)pool.ReadBlock(3, out.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ReadBlock(3, out.data()));
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissChurn(benchmark::State& state) {
+  MemoryBlockDevice dev(4096);
+  (void)dev.Grow(64);
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, 1);  // paper default: 1 block
+  std::vector<std::byte> out(4096);
+  BlockId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ReadBlock(id, out.data()));
+    id = (id + 1) & 63;
+  }
+}
+BENCHMARK(BM_BufferPoolMissChurn);
+
+void BM_BTreeDiskLookup(benchmark::State& state) {
+  IndexOptions options;
+  BTreeIndex index(options);
+  const auto keys = BenchKeys(100'000);
+  std::vector<Record> records(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) records[i] = {keys[i], keys[i] + 1};
+  CheckOk(index.Bulkload(records), "bulkload");
+  Rng rng(3);
+  for (auto _ : state) {
+    Payload p;
+    bool found;
+    benchmark::DoNotOptimize(index.Lookup(keys[rng.NextBounded(keys.size())], &p, &found));
+  }
+}
+BENCHMARK(BM_BTreeDiskLookup);
+
+}  // namespace
+}  // namespace liod
+
+BENCHMARK_MAIN();

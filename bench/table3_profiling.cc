@@ -1,0 +1,39 @@
+// Reproduces Table 3: dataset profiling under error bound (optimal-PLA
+// segment counts for eps in {16, 64, 256, 1024}), the B+-tree leaf count at
+// 4 KB blocks, and the FMCD conflict degree of each dataset.
+
+#include "bench_common.h"
+#include "segmentation/fmcd.h"
+#include "segmentation/piecewise_linear.h"
+
+using namespace liod;
+using namespace liod::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::size_t n = args.search_keys;
+  std::printf("Table 3: dataset profiling (keys per dataset = %zu; paper uses 200M)\n", n);
+  std::printf("%-10s %10s %10s %10s %10s %12s %10s\n", "dataset", "seg@16", "seg@64",
+              "seg@256", "seg@1024", "btree-leaf", "conflict");
+
+  const IndexOptions options = BenchOptions();
+  for (const auto& name : AllDatasetNames()) {
+    const std::size_t count = name == "osm800" ? n * 4 : n;  // the scale-up row
+    const auto keys = MakeDataset(name, count, args.seed);
+    std::printf("%-10s", name.c_str());
+    for (std::uint32_t eps : {16u, 64u, 256u, 1024u}) {
+      std::printf(" %10zu", CountOptimalPlaSegments(keys, eps));
+    }
+    // B+-tree leaf count: records per 4 KB leaf at the paper's fill factor.
+    const std::size_t leaf_cap = (options.block_size - 16) / sizeof(Record);
+    const std::size_t per_leaf = static_cast<std::size_t>(
+        options.btree_fill_factor * static_cast<double>(leaf_cap));
+    std::printf(" %12zu", (keys.size() + per_leaf - 1) / per_leaf);
+    const auto fmcd = BuildFmcd(keys, static_cast<std::int64_t>(keys.size()));
+    std::printf(" %10lld\n", static_cast<long long>(fmcd.conflict_degree));
+  }
+  std::printf(
+      "\nShape check vs paper: ycsb/stack easiest on both metrics; fb hardest to\n"
+      "segment; osm (and osm800) worst conflict degree.\n");
+  return 0;
+}

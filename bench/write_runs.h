@@ -1,0 +1,58 @@
+#ifndef LIOD_BENCH_WRITE_RUNS_H_
+#define LIOD_BENCH_WRITE_RUNS_H_
+
+// Shared execution of the four write-containing workloads (Section 5.2)
+// used by Figures 5, 6, 9, 10, and 12.
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace liod::bench {
+
+inline const std::vector<WorkloadType>& WriteWorkloads() {
+  static const std::vector<WorkloadType>* types = new std::vector<WorkloadType>{
+      WorkloadType::kWriteOnly, WorkloadType::kReadHeavy, WorkloadType::kWriteHeavy,
+      WorkloadType::kBalanced};
+  return *types;
+}
+
+/// Runs one write-containing workload for one index on one dataset; dataset
+/// keys are drawn once (bulk sample + disjoint insert pool, Section 5.2).
+inline RunResult RunWrite(const std::string& index_name, const std::string& dataset,
+                          WorkloadType type, const BenchArgs& args,
+                          const IndexOptions& options, RunnerConfig config = {}) {
+  auto index = MakeIndex(index_name, options);
+  if (index == nullptr) {
+    std::fprintf(stderr, "unknown index %s\n", index_name.c_str());
+    std::exit(2);
+  }
+  const auto keys = MakeDataset(dataset, args.write_bulk + args.write_ops, args.seed);
+  WorkloadSpec spec;
+  spec.type = type;
+  spec.bulk_keys = args.write_bulk;
+  spec.operations = args.write_ops;
+  spec.seed = args.seed + 3;
+  const Workload w = BuildWorkload(keys, spec);
+  return MustRun(index.get(), w, config);
+}
+
+/// Same but also returns the index so callers can inspect phase breakdowns.
+inline RunResult RunWriteWithIndex(const std::string& index_name,
+                                   const std::string& dataset, WorkloadType type,
+                                   const BenchArgs& args, const IndexOptions& options,
+                                   std::unique_ptr<DiskIndex>* index_out) {
+  *index_out = MakeIndex(index_name, options);
+  const auto keys = MakeDataset(dataset, args.write_bulk + args.write_ops, args.seed);
+  WorkloadSpec spec;
+  spec.type = type;
+  spec.bulk_keys = args.write_bulk;
+  spec.operations = args.write_ops;
+  spec.seed = args.seed + 3;
+  const Workload w = BuildWorkload(keys, spec);
+  return MustRun(index_out->get(), w);
+}
+
+}  // namespace liod::bench
+
+#endif  // LIOD_BENCH_WRITE_RUNS_H_

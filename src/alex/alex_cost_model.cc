@@ -1,0 +1,16 @@
+#include "alex/alex_cost_model.h"
+
+namespace liod {
+
+AlexSmoDecision AlexCostModel::Decide(const AlexNodeCosts& costs, bool can_expand) {
+  if (!can_expand) return AlexSmoDecision::kSplitSideways;
+  const double expected = ExpectedCost(costs);
+  const double empirical = EmpiricalCost(costs);
+  if (expected > 0.0 && empirical > kCatastropheFactor * expected) {
+    // The model underperforms badly ("catastrophic cost"): re-partition.
+    return AlexSmoDecision::kSplitSideways;
+  }
+  return AlexSmoDecision::kExpand;
+}
+
+}  // namespace liod

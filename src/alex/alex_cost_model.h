@@ -1,0 +1,62 @@
+#ifndef LIOD_ALEX_ALEX_COST_MODEL_H_
+#define LIOD_ALEX_ALEX_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace liod {
+
+/// ALEX's SMO decision inputs: per-data-node workload statistics accumulated
+/// in the node header (the "maintenance" writes of Figure 6) plus the
+/// expected costs computed when the node's model was trained.
+struct AlexNodeCosts {
+  // Expected (computed at build/retrain time).
+  double expected_exp_search_iters = 0.0;
+  double expected_shifts = 0.0;
+  // Empirical (accumulated in the node header).
+  std::uint64_t num_lookups = 0;
+  std::uint64_t num_inserts = 0;
+  std::uint64_t num_exp_search_iters = 0;
+  std::uint64_t num_shifts = 0;
+};
+
+/// What to do when a data node reaches its density limit.
+enum class AlexSmoDecision {
+  kExpand,        ///< grow the gapped array and retrain the model
+  kSplitSideways  ///< split into two nodes under the parent
+};
+
+/// Simplified ALEX cost model (Ding et al. 2020, Section 4): expansion is
+/// preferred while the model still predicts well; a node whose empirical
+/// search/shift cost deviates from the expectation by more than the
+/// catastrophe factor is split instead.
+class AlexCostModel {
+ public:
+  static constexpr double kSearchIterWeight = 20.0;
+  static constexpr double kShiftWeight = 0.5;
+  static constexpr double kCatastropheFactor = 2.0;
+
+  static double ExpectedCost(const AlexNodeCosts& c) {
+    return kSearchIterWeight * c.expected_exp_search_iters +
+           kShiftWeight * c.expected_shifts;
+  }
+
+  static double EmpiricalCost(const AlexNodeCosts& c) {
+    const std::uint64_t ops = c.num_lookups + c.num_inserts;
+    if (ops == 0) return 0.0;
+    const double iters =
+        static_cast<double>(c.num_exp_search_iters) / static_cast<double>(ops);
+    const double shifts = c.num_inserts == 0
+                              ? 0.0
+                              : static_cast<double>(c.num_shifts) /
+                                    static_cast<double>(c.num_inserts);
+    return kSearchIterWeight * iters + kShiftWeight * shifts;
+  }
+
+  /// Decision for a full node. `can_expand` = the expanded node would still
+  /// respect the maximum data node size.
+  static AlexSmoDecision Decide(const AlexNodeCosts& costs, bool can_expand);
+};
+
+}  // namespace liod
+
+#endif  // LIOD_ALEX_ALEX_COST_MODEL_H_

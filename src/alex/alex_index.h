@@ -1,0 +1,125 @@
+#ifndef LIOD_ALEX_ALEX_INDEX_H_
+#define LIOD_ALEX_ALEX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alex/alex_cost_model.h"
+#include "alex/alex_nodes.h"
+#include "core/index.h"
+
+namespace liod {
+
+/// The paper's on-disk ALEX (Section 4.1): model-based inner traversal,
+/// gapped-array data nodes with bitmaps, exponential search, shift-based
+/// inserts, cost-model-driven SMOs (expand & retrain / split sideways /
+/// split down), and per-node statistics updated on every insert (the
+/// Figure 6 "maintenance" step). Read-only queries do not write statistics,
+/// per the paper's optimization.
+///
+/// Both on-disk layouts of Figure 2 are supported: Layout#2 (default)
+/// separates inner and data nodes into two files; Layout#1 stores all nodes
+/// in one file. Child pointers are 8-byte DiskAddrs; bit 31 of the offset
+/// tags the target as a data node so traversal knows which file to read.
+class AlexIndex final : public DiskIndex {
+ public:
+  explicit AlexIndex(const IndexOptions& options);
+
+  std::string name() const override { return "alex"; }
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+  IndexStats GetIndexStats() const override;
+
+  std::uint64_t smo_count() const { return smo_count_; }
+  std::uint64_t data_node_count() const { return data_node_count_; }
+  std::uint64_t height() const { return height_; }
+
+  /// Test helper: verifies global ordering, chain consistency, slot-array
+  /// monotonicity (gap mirrors included), and record count.
+  Status CheckInvariants();
+
+ private:
+  struct PathEntry {
+    DiskAddr node;
+    std::uint32_t slot;
+    std::uint32_t num_children;
+  };
+
+  // Child-pointer tagging: bit 31 of the offset marks a data node.
+  static constexpr std::uint32_t kDataTag = 0x80000000u;
+  static DiskAddr TagData(BlockId block) { return DiskAddr{block, kDataTag}; }
+  static bool IsData(DiskAddr a) { return (a.offset & kDataTag) != 0; }
+
+  // Layout#1 keeps every node in the single (leaf) file; Layout#2 splits.
+  PagedFile* inner() { return inner_file_ != nullptr ? inner_file_.get() : leaf_file_.get(); }
+  PagedFile* data() { return leaf_file_.get(); }
+
+  // --- inner-node storage (packed small nodes) ---------------------------
+  DiskAddr AllocateInner(std::uint32_t bytes);
+  Status WriteInnerNode(DiskAddr addr, const AlexInnerHeader& header,
+                        std::span<const DiskAddr> children);
+  Status ReadInnerHeader(DiskAddr addr, AlexInnerHeader* header);
+  Status ReadChild(DiskAddr node, std::uint32_t slot, DiskAddr* child);
+  Status WriteChildRange(DiskAddr node, std::uint32_t first_slot,
+                         std::span<const DiskAddr> children);
+
+  // --- build --------------------------------------------------------------
+  std::uint32_t MaxBuildKeys() const;
+  Status BuildSubtree(std::span<const Record> records, std::uint32_t level,
+                      DiskAddr* out_addr);
+  Status BuildDataNodeLinked(std::span<const Record> records, std::uint32_t min_capacity,
+                             std::uint32_t level, DiskAddr* out_addr);
+
+  // --- traversal ----------------------------------------------------------
+  Status DescendToData(Key key, BlockId* start, AlexDataHeader* header,
+                       std::vector<PathEntry>* path);
+
+  // --- data-node mutation ---------------------------------------------------
+  /// Returns true via *retry when an SMO restructured the tree and the
+  /// insert must re-descend.
+  Status InsertIntoData(BlockId start, AlexDataHeader& header,
+                        std::vector<PathEntry>& path, Key key, Payload payload,
+                        bool* retry, bool* inserted);
+  Status RunSmo(BlockId start, const AlexDataHeader& header,
+                std::vector<PathEntry>& path);
+  Status ExpandDataNode(BlockId start, const AlexDataHeader& header,
+                        std::vector<PathEntry>& path);
+  Status SplitDataNode(BlockId start, const AlexDataHeader& header,
+                       std::vector<PathEntry>& path, bool* retry);
+  Status ExpandInnerNode(std::vector<PathEntry>& path, std::size_t depth);
+  Status ReplaceChildRun(std::vector<PathEntry>& path, DiskAddr old_child,
+                         std::span<const DiskAddr> replacements);
+  Status FindChildRun(DiskAddr parent, std::uint32_t hint_slot, DiskAddr child,
+                      std::uint32_t* run_start, std::uint32_t* run_len);
+  Status RelinkNeighbors(DiskAddr prev, DiskAddr next, BlockId new_first,
+                         BlockId new_last);
+  Status SetDataHeaderLink(BlockId start, bool set_next, DiskAddr value);
+
+  std::unique_ptr<PagedFile> inner_file_;
+  std::unique_ptr<PagedFile> leaf_file_;
+
+  // Inner-node packing allocator.
+  BlockId pack_block_ = kInvalidBlock;
+  std::uint32_t pack_offset_ = 0;
+
+  // Bulkload chain state: the most recently built data node.
+  DiskAddr last_built_data_ = kNullAddr;
+
+  // Memory-resident meta (paper: the meta block lives in memory in use).
+  DiskAddr root_ = kNullAddr;
+  std::uint64_t height_ = 0;
+  std::uint64_t num_records_ = 0;
+  std::uint64_t data_node_count_ = 0;
+  std::uint64_t inner_node_count_ = 0;
+  std::uint64_t smo_count_ = 0;
+  std::uint64_t freed_inner_bytes_ = 0;
+  bool bulkloaded_ = false;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_ALEX_ALEX_INDEX_H_

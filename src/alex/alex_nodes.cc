@@ -1,0 +1,324 @@
+#include "alex/alex_nodes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace liod {
+
+namespace {
+std::uint32_t SlotRegionOffset(std::uint32_t capacity) {
+  const std::uint32_t words = (capacity + 63) / 64;
+  const std::uint32_t off = static_cast<std::uint32_t>(sizeof(AlexDataHeader)) + words * 8;
+  return (off + 15) & ~15u;  // 16-byte align the slot array
+}
+}  // namespace
+
+AlexDataGeometry ComputeDataGeometry(std::uint32_t min_capacity, std::size_t block_size) {
+  std::uint32_t cap = std::max<std::uint32_t>(min_capacity, 64);
+  const std::uint64_t need = SlotRegionOffset(cap) +
+                             static_cast<std::uint64_t>(cap) * sizeof(Record);
+  const std::uint32_t blocks =
+      static_cast<std::uint32_t>((need + block_size - 1) / block_size);
+  const std::uint64_t budget = static_cast<std::uint64_t>(blocks) * block_size;
+  // Grow capacity while the node (including the larger bitmap) still fits
+  // the allocated run, so the final block carries no dead tail space.
+  while (SlotRegionOffset(cap + 1) + static_cast<std::uint64_t>(cap + 1) * sizeof(Record) <=
+         budget) {
+    ++cap;
+  }
+  AlexDataGeometry g;
+  g.capacity = cap;
+  g.bitmap_words = (cap + 63) / 64;
+  g.slot_region_off = SlotRegionOffset(cap);
+  g.run_blocks = blocks;
+  return g;
+}
+
+Status BuildAlexDataNode(PagedFile* file, std::span<const Record> records,
+                         std::uint32_t min_capacity, std::uint32_t level,
+                         std::size_t block_size, DiskAddr prev, DiskAddr next,
+                         BlockId* out_start, AlexDataHeader* out_header) {
+  // Defensive floor: the node must hold the records plus some slack even if
+  // the caller under-sizes it.
+  const std::uint32_t floor_capacity = static_cast<std::uint32_t>(
+      records.size() + records.size() / 8 + 1);
+  const AlexDataGeometry g =
+      ComputeDataGeometry(std::max(min_capacity, floor_capacity), block_size);
+  assert(records.size() <= g.capacity);
+
+  AlexDataHeader header{};
+  header.node_type = kAlexDataNodeType;
+  header.level = level;
+  header.capacity = g.capacity;
+  header.num_keys = static_cast<std::uint32_t>(records.size());
+  header.bitmap_words = g.bitmap_words;
+  header.slot_region_off = g.slot_region_off;
+  header.prev = prev;
+  header.next = next;
+  header.min_key = records.empty() ? kMaxKey : records.front().key;
+  header.max_key = records.empty() ? kMinKey : records.back().key;
+  header.run_blocks = g.run_blocks;
+
+  // Train the model: least squares over positions, rescaled to the capacity.
+  if (records.size() >= 2) {
+    std::vector<Key> keys(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) keys[i] = records[i].key;
+    LinearModel m = LinearModel::LeastSquares(keys.begin(),
+                                              static_cast<std::int64_t>(keys.size()));
+    const double scale =
+        static_cast<double>(g.capacity) / static_cast<double>(records.size());
+    header.model = m.Expanded(scale);
+  } else {
+    header.model.slope = 0.0;
+    header.model.intercept = 0.0;
+  }
+
+  // Model-based placement into the gapped array.
+  std::vector<std::uint64_t> bitmap(g.bitmap_words, 0);
+  std::vector<Record> slots(g.capacity, Record{0, 0});
+  std::int64_t last_pos = -1;
+  double err_sum = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::int64_t pos = header.model.PredictClamped(records[i].key,
+                                                   static_cast<std::int64_t>(g.capacity));
+    const std::int64_t remaining = static_cast<std::int64_t>(records.size() - i);
+    pos = std::max(pos, last_pos + 1);
+    pos = std::min(pos, static_cast<std::int64_t>(g.capacity) - remaining);
+    err_sum += std::log2(std::abs(static_cast<double>(pos) -
+                                  header.model.PredictRaw(records[i].key)) +
+                         1.0);
+    slots[static_cast<std::size_t>(pos)] = records[i];
+    bitmap[static_cast<std::size_t>(pos) / 64] |= 1ULL << (pos % 64);
+    last_pos = pos;
+  }
+  header.expected_iters = records.empty() ? 0.0 : err_sum / static_cast<double>(records.size());
+  const double density = static_cast<double>(records.size()) /
+                         static_cast<double>(g.capacity);
+  header.expected_shifts = density < 1.0 ? density / (2.0 * (1.0 - density)) : 8.0;
+
+  // Fill gaps with a mirror of the nearest real slot to the right; trailing
+  // gaps (no right neighbour) hold the max-key sentinel so appends find them
+  // via lower_bound. Keeps the slot array monotone.
+  Record mirror{kMaxKey, 0};
+  for (std::size_t i = g.capacity; i-- > 0;) {
+    if ((bitmap[i / 64] >> (i % 64)) & 1) {
+      mirror = slots[i];
+    } else {
+      slots[i] = mirror;
+    }
+  }
+
+  // Serialize the node image.
+  std::vector<std::byte> image(static_cast<std::size_t>(g.run_blocks) * block_size,
+                               std::byte{0});
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + sizeof(header), bitmap.data(), bitmap.size() * 8);
+  std::memcpy(image.data() + g.slot_region_off, slots.data(),
+              slots.size() * sizeof(Record));
+
+  const BlockId start = file->AllocateRun(g.run_blocks);
+  LIOD_RETURN_IF_ERROR(file->WriteBytes(
+      static_cast<std::uint64_t>(start) * block_size, image.size(), image.data()));
+  *out_start = start;
+  if (out_header != nullptr) *out_header = header;
+  return Status::Ok();
+}
+
+Status CollectAlexDataRecords(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                              std::vector<Record>* out) {
+  out->clear();
+  out->reserve(header.num_keys);
+  const std::size_t bs = file->block_size();
+  const std::uint64_t base = static_cast<std::uint64_t>(start) * bs;
+  std::vector<std::uint64_t> bitmap(header.bitmap_words);
+  LIOD_RETURN_IF_ERROR(file->ReadBytes(base + sizeof(AlexDataHeader),
+                                       bitmap.size() * 8,
+                                       reinterpret_cast<std::byte*>(bitmap.data())));
+  std::vector<Record> slots(header.capacity);
+  LIOD_RETURN_IF_ERROR(file->ReadBytes(base + header.slot_region_off,
+                                       slots.size() * sizeof(Record),
+                                       reinterpret_cast<std::byte*>(slots.data())));
+  for (std::uint32_t i = 0; i < header.capacity; ++i) {
+    if ((bitmap[i / 64] >> (i % 64)) & 1) out->push_back(slots[i]);
+  }
+  return Status::Ok();
+}
+
+Status ReadAlexSlot(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                    std::uint32_t slot, Record* out) {
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            header.slot_region_off +
+                            static_cast<std::uint64_t>(slot) * sizeof(Record);
+  return file->ReadBytes(off, sizeof(Record), reinterpret_cast<std::byte*>(out));
+}
+
+Status AlexExponentialSearch(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                             Key key, std::int64_t predicted_slot, std::uint32_t* out_slot,
+                             std::uint32_t* iters) {
+  *iters = 0;
+  const std::int64_t cap = static_cast<std::int64_t>(header.capacity);
+  if (cap == 0 || header.num_keys == 0) {
+    *out_slot = header.capacity;
+    return Status::Ok();
+  }
+  std::int64_t pivot = std::clamp<std::int64_t>(predicted_slot, 0, cap - 1);
+  Record rec;
+  LIOD_RETURN_IF_ERROR(ReadAlexSlot(file, start, header, static_cast<std::uint32_t>(pivot),
+                                    &rec));
+  ++*iters;
+  std::int64_t lo, hi;  // search window [lo, hi)
+  if (rec.key >= key) {
+    std::int64_t bound = 1;
+    while (pivot - bound >= 0) {
+      LIOD_RETURN_IF_ERROR(ReadAlexSlot(file, start, header,
+                                        static_cast<std::uint32_t>(pivot - bound), &rec));
+      ++*iters;
+      if (rec.key < key) break;
+      bound *= 2;
+    }
+    lo = std::max<std::int64_t>(0, pivot - bound);
+    hi = pivot - bound / 2 + 1;
+  } else {
+    std::int64_t bound = 1;
+    while (pivot + bound < cap) {
+      LIOD_RETURN_IF_ERROR(ReadAlexSlot(file, start, header,
+                                        static_cast<std::uint32_t>(pivot + bound), &rec));
+      ++*iters;
+      if (rec.key >= key) break;
+      bound *= 2;
+    }
+    lo = pivot + bound / 2;
+    hi = std::min<std::int64_t>(cap, pivot + bound + 1);
+  }
+  // Binary search for the leftmost slot with key >= `key` in [lo, hi).
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    LIOD_RETURN_IF_ERROR(
+        ReadAlexSlot(file, start, header, static_cast<std::uint32_t>(mid), &rec));
+    ++*iters;
+    if (rec.key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *out_slot = static_cast<std::uint32_t>(lo);
+  return Status::Ok();
+}
+
+namespace {
+Status ReadBitmapWord(PagedFile* file, BlockId start, const AlexDataHeader& /*header*/,
+                      std::uint32_t word, std::uint64_t* out) {
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            sizeof(AlexDataHeader) + static_cast<std::uint64_t>(word) * 8;
+  return file->ReadBytes(off, 8, reinterpret_cast<std::byte*>(out));
+}
+}  // namespace
+
+Status ReadAlexBitmapBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                         std::uint32_t slot, bool* is_set) {
+  std::uint64_t word;
+  LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, slot / 64, &word));
+  *is_set = (word >> (slot % 64)) & 1;
+  return Status::Ok();
+}
+
+Status WriteAlexBitmapBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                          std::uint32_t slot, bool value) {
+  std::uint64_t word;
+  LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, slot / 64, &word));
+  if (value) {
+    word |= 1ULL << (slot % 64);
+  } else {
+    word &= ~(1ULL << (slot % 64));
+  }
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            sizeof(AlexDataHeader) +
+                            static_cast<std::uint64_t>(slot / 64) * 8;
+  return file->WriteBytes(off, 8, reinterpret_cast<const std::byte*>(&word));
+}
+
+Status NextSetBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                  std::uint32_t slot, std::uint32_t* out) {
+  for (std::uint32_t word = slot / 64; word < header.bitmap_words; ++word) {
+    std::uint64_t bits;
+    LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, word, &bits));
+    if (word == slot / 64) bits &= ~0ULL << (slot % 64);
+    if (bits != 0) {
+      const std::uint32_t candidate =
+          word * 64 + static_cast<std::uint32_t>(__builtin_ctzll(bits));
+      *out = candidate < header.capacity ? candidate : header.capacity;
+      return Status::Ok();
+    }
+  }
+  *out = header.capacity;
+  return Status::Ok();
+}
+
+Status NextZeroBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                   std::uint32_t slot, std::uint32_t* out) {
+  for (std::uint32_t word = slot / 64; word < header.bitmap_words; ++word) {
+    std::uint64_t bits;
+    LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, word, &bits));
+    std::uint64_t inverted = ~bits;
+    if (word == slot / 64) inverted &= ~0ULL << (slot % 64);
+    while (inverted != 0) {
+      const std::uint32_t candidate =
+          word * 64 + static_cast<std::uint32_t>(__builtin_ctzll(inverted));
+      if (candidate < header.capacity) {
+        *out = candidate;
+        return Status::Ok();
+      }
+      inverted &= inverted - 1;
+    }
+  }
+  *out = header.capacity;
+  return Status::Ok();
+}
+
+Status PrevZeroBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                   std::uint32_t slot, std::uint32_t* out) {
+  std::uint32_t word = slot / 64;
+  for (;;) {
+    std::uint64_t bits;
+    LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, word, &bits));
+    std::uint64_t inverted = ~bits;
+    if (word == slot / 64) {
+      const std::uint32_t keep = slot % 64;
+      inverted = keep == 63 ? inverted : (inverted & ((1ULL << (keep + 1)) - 1));
+    }
+    if (inverted != 0) {
+      *out = word * 64 + (63 - static_cast<std::uint32_t>(__builtin_clzll(inverted)));
+      return Status::Ok();
+    }
+    if (word == 0) break;
+    --word;
+  }
+  *out = header.capacity;  // none
+  return Status::Ok();
+}
+
+Status PrevSetBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                  std::uint32_t slot, std::uint32_t* out) {
+  std::uint32_t word = slot / 64;
+  for (;;) {
+    std::uint64_t bits;
+    LIOD_RETURN_IF_ERROR(ReadBitmapWord(file, start, header, word, &bits));
+    if (word == slot / 64) {
+      const std::uint32_t keep = slot % 64;
+      bits = keep == 63 ? bits : (bits & ((1ULL << (keep + 1)) - 1));
+    }
+    if (bits != 0) {
+      *out = word * 64 + (63 - static_cast<std::uint32_t>(__builtin_clzll(bits)));
+      return Status::Ok();
+    }
+    if (word == 0) break;
+    --word;
+  }
+  *out = header.capacity;  // none
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -1,0 +1,122 @@
+#ifndef LIOD_ALEX_ALEX_NODES_H_
+#define LIOD_ALEX_ALEX_NODES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+/// On-disk node formats of the paper's ALEX port (Section 4.1, Figure 2).
+///
+/// Inner nodes are small (header + pointer array) and are packed multiple
+/// per block; child addresses are 8-byte DiskAddrs (4-byte block + 4-byte
+/// offset). Data nodes occupy their own contiguous block runs:
+///
+///   [header 128 B][bitmap ceil(cap/64)*8 B][gapped slot array cap*16 B]
+///
+/// Slots are interleaved (key, payload) pairs; gap slots mirror the nearest
+/// real slot to their right (the last real one when no right neighbour
+/// exists), so exponential search works without touching the bitmap, and an
+/// insert must "overwrite the preceding empty slots until it reaches the
+/// previous element" exactly as the paper describes (S5).
+
+inline constexpr std::uint32_t kAlexInnerNodeType = 1;
+inline constexpr std::uint32_t kAlexDataNodeType = 2;
+
+struct AlexInnerHeader {
+  std::uint32_t node_type;  // kAlexInnerNodeType
+  std::uint32_t num_children;
+  LinearModel model;  // key -> child slot in [0, num_children)
+  std::uint32_t level;
+  std::uint32_t total_bytes;  // header + pointer array
+  std::uint64_t padding[2];
+};
+static_assert(sizeof(AlexInnerHeader) == 48);
+
+struct AlexDataHeader {
+  std::uint32_t node_type;  // kAlexDataNodeType
+  std::uint32_t level;
+  LinearModel model;  // key -> slot in [0, capacity)
+  std::uint32_t capacity;
+  std::uint32_t num_keys;
+  std::uint32_t bitmap_words;
+  std::uint32_t slot_region_off;  // bytes from node start
+  DiskAddr prev;
+  DiskAddr next;
+  Key min_key;
+  Key max_key;
+  // Workload statistics (maintained on writes; Figure 6 "maintenance").
+  std::uint64_t num_lookups;
+  std::uint64_t num_inserts;
+  std::uint64_t num_exp_search_iters;
+  std::uint64_t num_shifts;
+  // Expected costs captured at (re)train time.
+  double expected_iters;
+  double expected_shifts;
+  std::uint32_t run_blocks;
+  std::uint32_t padding;
+};
+static_assert(sizeof(AlexDataHeader) == 128);
+
+/// Geometry of a data node with `capacity` slots in `block_size` blocks.
+struct AlexDataGeometry {
+  std::uint32_t capacity;
+  std::uint32_t bitmap_words;
+  std::uint32_t slot_region_off;
+  std::uint32_t run_blocks;
+};
+
+/// Computes geometry for >= `min_capacity` slots, rounding capacity up so
+/// the run ends on a block boundary.
+AlexDataGeometry ComputeDataGeometry(std::uint32_t min_capacity, std::size_t block_size);
+
+/// Builds the full byte image of a data node from sorted records using
+/// model-based placement, and writes it as a new run in `file`.
+/// Returns the run's start block via `out_start`.
+Status BuildAlexDataNode(PagedFile* file, std::span<const Record> records,
+                         std::uint32_t min_capacity, std::uint32_t level,
+                         std::size_t block_size, DiskAddr prev, DiskAddr next,
+                         BlockId* out_start, AlexDataHeader* out_header);
+
+/// Reads all live records of a data node, in key order (reads bitmap + slots).
+Status CollectAlexDataRecords(PagedFile* file, BlockId start,
+                              const AlexDataHeader& header, std::vector<Record>* out);
+
+/// Disk-based exponential search for the leftmost slot with key >= `key`.
+/// Returns capacity when every slot key is < `key`. `iters` receives the
+/// number of search steps (for the node statistics).
+Status AlexExponentialSearch(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                             Key key, std::int64_t predicted_slot, std::uint32_t* out_slot,
+                             std::uint32_t* iters);
+
+/// Reads one slot record.
+Status ReadAlexSlot(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                    std::uint32_t slot, Record* out);
+
+/// Reads/sets one bitmap bit (block-granular I/O through the file).
+Status ReadAlexBitmapBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                         std::uint32_t slot, bool* is_set);
+Status WriteAlexBitmapBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                          std::uint32_t slot, bool value);
+
+/// Finds the nearest set bit at or after `slot` (returns capacity if none),
+/// and the nearest zero bit at or after / before `slot`.
+Status NextSetBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                  std::uint32_t slot, std::uint32_t* out);
+Status NextZeroBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                   std::uint32_t slot, std::uint32_t* out);
+Status PrevZeroBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                   std::uint32_t slot, std::uint32_t* out);  // capacity if none
+Status PrevSetBit(PagedFile* file, BlockId start, const AlexDataHeader& header,
+                  std::uint32_t slot, std::uint32_t* out);  // capacity if none
+
+}  // namespace liod
+
+#endif  // LIOD_ALEX_ALEX_NODES_H_

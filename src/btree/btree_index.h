@@ -1,0 +1,37 @@
+#ifndef LIOD_BTREE_BTREE_INDEX_H_
+#define LIOD_BTREE_BTREE_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "btree/bplus_tree.h"
+#include "core/index.h"
+
+namespace liod {
+
+/// The paper's baseline: a disk-resident B+-tree (Section 1, "one of the most
+/// efficient and commonly used on-disk data structures"). Thin DiskIndex
+/// wrapper over BPlusTree with payloads as values.
+class BTreeIndex final : public DiskIndex {
+ public:
+  explicit BTreeIndex(const IndexOptions& options);
+
+  std::string name() const override { return "btree"; }
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+  IndexStats GetIndexStats() const override;
+
+  BPlusTree& tree() { return tree_; }
+
+ private:
+  std::unique_ptr<PagedFile> inner_file_;
+  std::unique_ptr<PagedFile> leaf_file_;
+  BPlusTree tree_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_BTREE_BTREE_INDEX_H_

@@ -1,0 +1,93 @@
+#ifndef LIOD_COMMON_LINEAR_MODEL_H_
+#define LIOD_COMMON_LINEAR_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace liod {
+
+/// A linear model `pos = slope * key + intercept`, the building block of
+/// every learned index in the paper (Section 2). Stored verbatim inside
+/// on-disk node headers, so the layout is fixed: two doubles, 16 bytes.
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  /// Raw (unclamped) predicted position; may be negative or past the end.
+  double PredictRaw(Key key) const {
+    return slope * static_cast<double>(key) + intercept;
+  }
+
+  /// Predicted slot clamped into [0, size-1]. `size` must be >= 1.
+  std::int64_t PredictClamped(Key key, std::int64_t size) const {
+    const double raw = PredictRaw(key);
+    if (raw <= 0.0) return 0;
+    const std::int64_t pos = static_cast<std::int64_t>(raw);
+    return std::min(pos, size - 1);
+  }
+
+  /// Fit a model through two points (key0 -> pos0), (key1 -> pos1).
+  /// Degenerates to a flat model if the keys are equal.
+  static LinearModel FromPoints(Key key0, double pos0, Key key1, double pos1) {
+    LinearModel m;
+    if (key1 == key0) {
+      m.slope = 0.0;
+      m.intercept = pos0;
+    } else {
+      m.slope = (pos1 - pos0) / (static_cast<double>(key1) - static_cast<double>(key0));
+      m.intercept = pos0 - m.slope * static_cast<double>(key0);
+    }
+    return m;
+  }
+
+  /// Min-max interpolation: maps [min_key, max_key] onto [0, size-1].
+  static LinearModel MinMax(Key min_key, Key max_key, std::int64_t size) {
+    return FromPoints(min_key, 0.0, max_key, static_cast<double>(size - 1));
+  }
+
+  /// Least-squares fit of positions 0..n-1 to `keys[0..n-1]` (sorted).
+  /// Used by ALEX data nodes when retraining.
+  template <typename KeyIt>
+  static LinearModel LeastSquares(KeyIt first, std::int64_t n) {
+    LinearModel m;
+    if (n <= 1) {
+      m.slope = 0.0;
+      m.intercept = 0.0;
+      return m;
+    }
+    long double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+    KeyIt it = first;
+    for (std::int64_t i = 0; i < n; ++i, ++it) {
+      const long double x = static_cast<long double>(*it);
+      const long double y = static_cast<long double>(i);
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_xy += x * y;
+    }
+    const long double nd = static_cast<long double>(n);
+    const long double denom = nd * sum_xx - sum_x * sum_x;
+    if (denom == 0.0L || !std::isfinite(static_cast<double>(denom))) {
+      // All keys identical (or overflow): fall back to a flat model.
+      m.slope = 0.0;
+      m.intercept = static_cast<double>((n - 1) / 2);
+      return m;
+    }
+    m.slope = static_cast<double>((nd * sum_xy - sum_x * sum_y) / denom);
+    m.intercept = static_cast<double>((sum_y - static_cast<long double>(m.slope) * sum_x) / nd);
+    return m;
+  }
+
+  /// Rescale a model trained for `old_size` slots to `new_size` slots.
+  LinearModel Expanded(double factor) const {
+    return LinearModel{slope * factor, intercept * factor};
+  }
+};
+static_assert(sizeof(LinearModel) == 16, "LinearModel must be 16 bytes on disk");
+
+}  // namespace liod
+
+#endif  // LIOD_COMMON_LINEAR_MODEL_H_

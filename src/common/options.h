@@ -1,0 +1,90 @@
+#ifndef LIOD_COMMON_OPTIONS_H_
+#define LIOD_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace liod {
+
+/// ALEX on-disk layout variants from Section 4.1 of the paper.
+enum class AlexLayout {
+  kSingleFile = 1,  ///< Layout#1: inner and data nodes share one file.
+  kSplitFiles = 2,  ///< Layout#2: one file per node class (the paper's pick).
+};
+
+/// Shared configuration for every index in the library. Defaults follow the
+/// paper's experimental setup (Section 5.3).
+struct IndexOptions {
+  /// Disk block size in bytes. The paper fixes 4 KB except in the block-size
+  /// study (Section 6.4), which sweeps 1 KB - 16 KB. Must be a power of two
+  /// and >= 512.
+  std::size_t block_size = 4096;
+
+  /// Buffer-pool capacity in blocks, per file. The paper's default setting
+  /// has no buffer management except reusing the last fetched block
+  /// (Section 6.5), i.e. capacity 1. The buffer study (Figure 13) sweeps this.
+  std::size_t buffer_pool_blocks = 1;
+
+  /// When true, inner-node files are pinned in main memory and their I/O is
+  /// excluded from disk statistics -- the "hybrid case" of Section 6.2.
+  bool memory_resident_inner = false;
+
+  /// When true, freed blocks may be recycled by later allocations. The paper
+  /// does not reclaim invalid disk space (Section 6.3); kept as an ablation.
+  bool reuse_freed_space = false;
+
+  /// When non-empty, index files are real files created in this directory
+  /// (FileBlockDevice). Empty (default) uses the in-RAM simulated disk with
+  /// exact I/O accounting, which backs all benchmarks.
+  std::string storage_dir;
+
+  // --- B+-tree ----------------------------------------------------------
+  /// Leaf/inner fill fraction used during bulkload. 0.8 reproduces the
+  /// paper's 980,393 leaves for 200M keys in 4 KB blocks (Table 3).
+  double btree_fill_factor = 0.8;
+
+  // --- FITing-tree ------------------------------------------------------
+  /// Maximum prediction error of a segment's linear model (paper default 64).
+  std::uint32_t fiting_error_bound = 64;
+  /// Delta-insert buffer capacity per segment, in records (paper default 256).
+  std::uint32_t fiting_buffer_capacity = 256;
+
+  // --- PGM --------------------------------------------------------------
+  /// Leaf-level error bound (paper default 64).
+  std::uint32_t pgm_error_bound = 64;
+  /// Error bound of recursive (inner) levels.
+  std::uint32_t pgm_inner_error_bound = 16;
+  /// Capacity of the LSM insert buffer in records. The paper observed a
+  /// sorted array of 585 records (~3 blocks at 4 KB), Section 6.1.3.
+  std::uint32_t pgm_insert_buffer_records = 585;
+
+  // --- ALEX -------------------------------------------------------------
+  AlexLayout alex_layout = AlexLayout::kSplitFiles;
+  /// Upper bound on a data node's slot count. The original ALEX allows data
+  /// nodes up to 16 MB; scaled default keeps SMOs frequent at bench scale.
+  std::uint32_t alex_max_data_node_slots = 1 << 16;
+  /// Initial gapped-array density after bulkload/retrain (original: 0.7).
+  double alex_initial_density = 0.7;
+  /// Density that triggers an SMO (original ALEX upper density limit 0.8).
+  double alex_max_density = 0.8;
+  /// Maximum fanout of an inner node (power of two).
+  std::uint32_t alex_max_fanout = 1 << 10;
+
+  // --- LIPP -------------------------------------------------------------
+  /// Node-size multipliers by key count, per the paper's O11: < 100k keys ->
+  /// 5x slots, [100k, 1M) -> 2x, >= 1M -> 1x.
+  std::uint32_t lipp_small_node_limit = 100'000;
+  std::uint32_t lipp_medium_node_limit = 1'000'000;
+  /// Subtree rebuild trigger: rebuild when conflict inserts exceed this
+  /// fraction of slots used (LIPP uses ~1/10).
+  double lipp_rebuild_conflict_ratio = 0.1;
+
+  // --- Hybrid (Section 6.1.2) -------------------------------------------
+  /// Fill fraction of the B+-tree-styled leaf blocks under a learned inner.
+  double hybrid_leaf_fill = 0.8;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_COMMON_OPTIONS_H_

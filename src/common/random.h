@@ -1,0 +1,66 @@
+#ifndef LIOD_COMMON_RANDOM_H_
+#define LIOD_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace liod {
+
+/// Deterministic, seedable xorshift128+ generator. Used everywhere instead of
+/// std::mt19937 so that dataset and workload generation is stable across
+/// standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound) with rejection to avoid modulo bias. bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed values in [0, n) with parameter `theta` (0 = uniform).
+/// Uses the Gray et al. computation with precomputed zeta, suitable for the
+/// skewed access patterns of YCSB-style workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Fisher-Yates shuffle with the project Rng (std::shuffle's output is
+/// implementation-defined).
+template <typename T>
+void Shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace liod
+
+#endif  // LIOD_COMMON_RANDOM_H_

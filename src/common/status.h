@@ -1,0 +1,88 @@
+#ifndef LIOD_COMMON_STATUS_H_
+#define LIOD_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace liod {
+
+/// Lightweight error-return type (the project does not use exceptions on any
+/// index or storage path). Modeled on absl::Status, reduced to what the
+/// library needs.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kIoError,
+    kCorruption,
+    kUnimplemented,
+    kFailedPrecondition,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return Status(Code::kInvalidArgument, std::move(m)); }
+  static Status NotFound(std::string m) { return Status(Code::kNotFound, std::move(m)); }
+  static Status OutOfRange(std::string m) { return Status(Code::kOutOfRange, std::move(m)); }
+  static Status IoError(std::string m) { return Status(Code::kIoError, std::move(m)); }
+  static Status Corruption(std::string m) { return Status(Code::kCorruption, std::move(m)); }
+  static Status Unimplemented(std::string m) { return Status(Code::kUnimplemented, std::move(m)); }
+  static Status FailedPrecondition(std::string m) {
+    return Status(Code::kFailedPrecondition, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+      case Code::kNotFound: return "NOT_FOUND";
+      case Code::kOutOfRange: return "OUT_OF_RANGE";
+      case Code::kIoError: return "IO_ERROR";
+      case Code::kCorruption: return "CORRUPTION";
+      case Code::kUnimplemented: return "UNIMPLEMENTED";
+      case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    }
+    return "UNKNOWN";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// Crash with a message if `status` is not OK. Used for invariants that are
+/// programming errors rather than recoverable conditions.
+inline void CheckOk(const Status& status, const char* context = "") {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", context, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+#define LIOD_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::liod::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace liod
+
+#endif  // LIOD_COMMON_STATUS_H_

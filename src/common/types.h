@@ -1,0 +1,40 @@
+#ifndef LIOD_COMMON_TYPES_H_
+#define LIOD_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace liod {
+
+/// Keys are unsigned 64-bit integers, as in the paper's SOSD-style datasets.
+using Key = std::uint64_t;
+
+/// Payloads are 64-bit; the paper sets payload = key + 1.
+using Payload = std::uint64_t;
+
+/// A key-payload pair as stored in leaf nodes / data nodes. 16 bytes.
+struct Record {
+  Key key;
+  Payload payload;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+static_assert(sizeof(Record) == 16, "Record must be exactly 16 bytes on disk");
+
+/// Sort records by key (payloads are not part of the ordering).
+struct RecordKeyLess {
+  bool operator()(const Record& a, const Record& b) const { return a.key < b.key; }
+  bool operator()(const Record& a, Key b) const { return a.key < b; }
+  bool operator()(Key a, const Record& b) const { return a < b.key; }
+};
+
+inline constexpr Key kMinKey = std::numeric_limits<Key>::min();
+inline constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// The paper's convention for generating payloads (Section 5.1).
+inline constexpr Payload PayloadFor(Key key) { return key + 1; }
+
+}  // namespace liod
+
+#endif  // LIOD_COMMON_TYPES_H_

@@ -1,0 +1,63 @@
+#include "core/index.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include "storage/block_device.h"
+
+namespace liod {
+
+namespace {
+std::atomic<std::uint64_t> g_file_counter{0};
+}  // namespace
+
+DiskIndex::DiskIndex(const IndexOptions& options) : options_(options) {}
+
+std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
+  PagedFileOptions file_options;
+  file_options.buffer_pool_blocks = options_.buffer_pool_blocks;
+  file_options.reuse_freed_space = options_.reuse_freed_space;
+  const bool inner_class = klass == FileClass::kInner || klass == FileClass::kMeta;
+  file_options.count_io = !(options_.memory_resident_inner && inner_class);
+
+  std::unique_ptr<BlockDevice> device;
+  if (options_.storage_dir.empty()) {
+    device = std::make_unique<MemoryBlockDevice>(options_.block_size);
+  } else {
+    const std::uint64_t id = g_file_counter.fetch_add(1);
+    const std::string path = options_.storage_dir + "/liod_" +
+                             std::to_string(::getpid()) + "_" + std::to_string(id) + "_" +
+                             FileClassName(klass) + ".bin";
+    auto file_device =
+        std::make_unique<FileBlockDevice>(path, options_.block_size, /*truncate=*/true);
+    CheckOk(file_device->ok() ? Status::Ok()
+                              : Status::IoError("cannot create " + path),
+            "DiskIndex::MakeFile");
+    device = std::move(file_device);
+  }
+  auto file = std::make_unique<PagedFile>(std::move(device), &io_stats_, klass, file_options);
+  files_.push_back(file.get());
+  return file;
+}
+
+void DiskIndex::DropCaches() {
+  for (PagedFile* file : files_) file->pool().Clear();
+}
+
+void DiskIndex::RemoveFile(PagedFile* file) {
+  std::erase(files_, file);
+}
+
+Status DiskIndex::CheckBulkloadInput(std::span<const Record> records) {
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].key <= records[i - 1].key) {
+      return Status::InvalidArgument(
+          "bulkload input must be sorted by strictly increasing key (violation at index " +
+          std::to_string(i) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

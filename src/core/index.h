@@ -1,0 +1,99 @@
+#ifndef LIOD_CORE_INDEX_H_
+#define LIOD_CORE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/op_breakdown.h"
+#include "storage/io_stats.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+/// Storage footprint and structural statistics of one index.
+struct IndexStats {
+  std::uint64_t num_records = 0;       ///< live key-payload pairs
+  std::uint64_t disk_bytes = 0;        ///< total allocated on-disk bytes
+  std::uint64_t inner_bytes = 0;       ///< bytes in inner-node files
+  std::uint64_t leaf_bytes = 0;        ///< bytes in leaf/data files
+  std::uint64_t freed_bytes = 0;       ///< invalid (unreclaimed) bytes
+  std::uint64_t height = 0;            ///< root-to-leaf levels (max)
+  std::uint64_t smo_count = 0;         ///< structural modifications performed
+  std::uint64_t node_count = 0;        ///< nodes/segments currently live
+};
+
+/// Common interface of every on-disk index in the library: the B+-tree
+/// baseline, the four learned indexes (Sections 2 and 4 of the paper), and
+/// the hybrid designs (Section 6.1.2).
+///
+/// Concurrency: instances are single-threaded, matching the paper's setup.
+/// Duplicate policy: Insert of an existing key updates its payload.
+class DiskIndex {
+ public:
+  explicit DiskIndex(const IndexOptions& options);
+  virtual ~DiskIndex() = default;
+
+  DiskIndex(const DiskIndex&) = delete;
+  DiskIndex& operator=(const DiskIndex&) = delete;
+
+  /// Short identifier, e.g. "btree", "alex", "lipp".
+  virtual std::string name() const = 0;
+
+  /// Builds the index from records sorted by strictly increasing key.
+  /// Must be called exactly once, before any other operation.
+  virtual Status Bulkload(std::span<const Record> records) = 0;
+
+  /// Point lookup. Sets *found and, when found, *payload.
+  virtual Status Lookup(Key key, Payload* payload, bool* found) = 0;
+
+  /// Upsert of one key-payload pair.
+  virtual Status Insert(Key key, Payload payload) = 0;
+
+  /// Range scan: locates `start_key` (or its successor) and returns up to
+  /// `count` records in key order.
+  virtual Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) = 0;
+
+  /// Structural/storage statistics.
+  virtual IndexStats GetIndexStats() const = 0;
+
+  const IndexOptions& options() const { return options_; }
+  IoStats& io_stats() { return io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+  OpBreakdown& breakdown() { return breakdown_; }
+
+  /// Empties every buffer pool of the index (all frames are clean, so this
+  /// performs no I/O). Benchmarks call this after bulkload so measurements
+  /// start cold, as in the paper's no-buffer default.
+  void DropCaches();
+
+ protected:
+  /// Creates a paged file of the given class honoring the shared options:
+  /// buffer-pool capacity, freed-space reuse, and the Section 6.2
+  /// memory-resident-inner mode (inner/meta files stop counting I/O).
+  std::unique_ptr<PagedFile> MakeFile(FileClass klass);
+
+  /// Unregisters a file that the index is about to destroy (e.g. PGM deletes
+  /// a merged level's file from disk, Section 6.3).
+  void RemoveFile(PagedFile* file);
+
+  /// Validates that bulkload input is sorted by strictly increasing key.
+  /// Every index calls this first and returns kInvalidArgument on violation.
+  static Status CheckBulkloadInput(std::span<const Record> records);
+
+  IndexOptions options_;
+  IoStats io_stats_;
+  OpBreakdown breakdown_;
+
+ private:
+  std::vector<PagedFile*> files_;  // registry for DropCaches (non-owning)
+};
+
+}  // namespace liod
+
+#endif  // LIOD_CORE_INDEX_H_

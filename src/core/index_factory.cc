@@ -1,0 +1,48 @@
+#include "core/index_factory.h"
+
+#include "alex/alex_index.h"
+#include "btree/btree_index.h"
+#include "fiting/fiting_tree_index.h"
+#include "hybrid/hybrid_index.h"
+#include "lipp/lipp_index.h"
+#include "pgm/dynamic_pgm_index.h"
+
+namespace liod {
+
+std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions& options) {
+  if (name == "btree") return std::make_unique<BTreeIndex>(options);
+  if (name == "fiting") return std::make_unique<FitingTreeIndex>(options);
+  if (name == "pgm") return std::make_unique<DynamicPgmIndex>(options);
+  if (name == "alex") return std::make_unique<AlexIndex>(options);
+  if (name == "alex-l1") {
+    IndexOptions layout1 = options;
+    layout1.alex_layout = AlexLayout::kSingleFile;
+    return std::make_unique<AlexIndex>(layout1);
+  }
+  if (name == "lipp") return std::make_unique<LippIndex>(options);
+  if (name == "hybrid-fiting") {
+    return std::make_unique<HybridIndex>(options, HybridInner::kFiting);
+  }
+  if (name == "hybrid-pgm") return std::make_unique<HybridIndex>(options, HybridInner::kPgm);
+  if (name == "hybrid-alex") {
+    return std::make_unique<HybridIndex>(options, HybridInner::kAlex);
+  }
+  if (name == "hybrid-lipp") {
+    return std::make_unique<HybridIndex>(options, HybridInner::kLipp);
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& StudiedIndexNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"btree", "fiting", "pgm", "alex", "lipp"};
+  return *names;
+}
+
+const std::vector<std::string>& HybridIndexNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "hybrid-fiting", "hybrid-pgm", "hybrid-alex", "hybrid-lipp"};
+  return *names;
+}
+
+}  // namespace liod

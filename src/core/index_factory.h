@@ -1,0 +1,26 @@
+#ifndef LIOD_CORE_INDEX_FACTORY_H_
+#define LIOD_CORE_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/index.h"
+
+namespace liod {
+
+/// Names accepted by MakeIndex:
+///   "btree", "fiting", "pgm", "alex", "alex-l1" (Layout#1), "lipp",
+///   "hybrid-fiting", "hybrid-pgm", "hybrid-alex", "hybrid-lipp".
+std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions& options);
+
+/// The five studied indexes (Table 1), in the paper's presentation order.
+const std::vector<std::string>& StudiedIndexNames();
+
+/// The four hybrid variants of Section 6.1.2.
+const std::vector<std::string>& HybridIndexNames();
+
+}  // namespace liod
+
+#endif  // LIOD_CORE_INDEX_FACTORY_H_

@@ -1,0 +1,33 @@
+#include "core/op_breakdown.h"
+
+namespace liod {
+
+const char* OpPhaseName(OpPhase phase) {
+  switch (phase) {
+    case OpPhase::kSearch: return "search";
+    case OpPhase::kInsert: return "insert";
+    case OpPhase::kSmo: return "smo";
+    case OpPhase::kMaintenance: return "maintenance";
+  }
+  return "unknown";
+}
+
+void OpBreakdown::Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta) {
+  PhaseTotals& t = totals_[static_cast<int>(phase)];
+  t.cpu_us += cpu_us;
+  t.io += io_delta;
+  ++t.events;
+}
+
+void OpBreakdown::Reset() {
+  for (auto& t : totals_) t = PhaseTotals{};
+}
+
+double OpBreakdown::AvgLatencyUs(OpPhase phase, const DiskModel& model,
+                                 std::uint64_t ops) const {
+  if (ops == 0) return 0.0;
+  const PhaseTotals& t = totals_[static_cast<int>(phase)];
+  return (t.cpu_us + model.IoMicros(t.io)) / static_cast<double>(ops);
+}
+
+}  // namespace liod

@@ -1,0 +1,79 @@
+#ifndef LIOD_CORE_OP_BREAKDOWN_H_
+#define LIOD_CORE_OP_BREAKDOWN_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace liod {
+
+/// The four steps of the paper's insert-path breakdown (Figure 6):
+/// (a) initial search, (b) the insertion itself, (c) structural modification,
+/// (d) maintenance (statistics updates tied to future SMOs).
+enum class OpPhase : int {
+  kSearch = 0,
+  kInsert = 1,
+  kSmo = 2,
+  kMaintenance = 3,
+};
+inline constexpr int kNumOpPhases = 4;
+
+const char* OpPhaseName(OpPhase phase);
+
+/// Accumulates CPU time and I/O per phase across many operations.
+class OpBreakdown {
+ public:
+  struct PhaseTotals {
+    double cpu_us = 0.0;
+    IoStatsSnapshot io;
+    std::uint64_t events = 0;
+  };
+
+  void Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta);
+  const PhaseTotals& totals(OpPhase phase) const {
+    return totals_[static_cast<int>(phase)];
+  }
+  void Reset();
+
+  /// Average modeled latency (CPU + modeled I/O) per *operation* for one
+  /// phase, where `ops` is the number of top-level operations executed.
+  double AvgLatencyUs(OpPhase phase, const DiskModel& model, std::uint64_t ops) const;
+
+ private:
+  std::array<PhaseTotals, kNumOpPhases> totals_;
+};
+
+/// RAII scope that charges elapsed CPU time and I/O to one phase.
+class PhaseScope {
+ public:
+  PhaseScope(OpBreakdown* breakdown, IoStats* stats, OpPhase phase)
+      : breakdown_(breakdown),
+        stats_(stats),
+        phase_(phase),
+        io_before_(stats->snapshot()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double cpu_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed).count();
+    breakdown_->Record(phase_, cpu_us, stats_->snapshot() - io_before_);
+  }
+
+ private:
+  OpBreakdown* breakdown_;
+  IoStats* stats_;
+  OpPhase phase_;
+  IoStatsSnapshot io_before_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_CORE_OP_BREAKDOWN_H_

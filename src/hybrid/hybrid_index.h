@@ -1,0 +1,107 @@
+#ifndef LIOD_HYBRID_HYBRID_INDEX_H_
+#define LIOD_HYBRID_HYBRID_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "lipp/lipp_node.h"
+#include "pgm/static_pgm.h"
+
+namespace liod {
+
+/// Which learned structure indexes the per-leaf maximum keys.
+enum class HybridInner {
+  kFiting,
+  kPgm,
+  kAlex,
+  kLipp,
+};
+
+const char* HybridInnerName(HybridInner kind);
+
+/// The hybrid design evaluated in Section 6.1.2 (Table 5): B+-tree-styled
+/// dense, linked leaf blocks hold the records; a learned inner structure
+/// indexes the maximum key of each leaf ("fences").
+///
+///  * kFiting / kPgm: recursive PLA levels over the fence array, models in
+///    the parent (no per-node model fetch) -- realized with StaticPgm over
+///    the fence records, parameterized by each index's error bound.
+///  * kAlex: an ALEX-styled locator whose root model node lives on disk and
+///    must be fetched before predicting (the paper's S1 model-slot
+///    overhead), then a model-partitioned fence group is searched.
+///  * kLipp: a LIPP tree over the fences; NULL slots are skipped by scanning
+///    forward to the next DATA slot, as Section 6.1.2 describes.
+///
+/// The paper evaluates hybrids on search workloads only; Insert returns
+/// kUnimplemented (future work in the paper's P3/P5 discussion).
+class HybridIndex final : public DiskIndex {
+ public:
+  HybridIndex(const IndexOptions& options, HybridInner inner_kind);
+
+  std::string name() const override;
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+  IndexStats GetIndexStats() const override;
+
+  std::uint64_t leaf_count() const { return leaf_count_; }
+
+ private:
+  struct LeafHeader {
+    std::uint32_t count;
+    BlockId prev;
+    BlockId next;
+    std::uint32_t padding;
+  };
+  static_assert(sizeof(LeafHeader) == 16);
+
+  /// ALEX-style locator root: model + per-slot fence offsets.
+  struct AlexLocatorHeader {
+    LinearModel model;  // key -> group in [0, num_groups)
+    std::uint32_t num_groups;
+    std::uint32_t padding;
+    // followed by (num_groups + 1) uint64 fence offsets
+  };
+
+  /// Finds the leaf that may contain `key` (the leaf whose max key is the
+  /// ceiling of `key`). found=false when key exceeds every leaf's max.
+  Status LocateLeaf(Key key, BlockId* leaf, bool* found);
+
+  Status LocateViaPla(Key key, BlockId* leaf, bool* found);
+  Status LocateViaAlex(Key key, BlockId* leaf, bool* found);
+  Status LocateViaLipp(Key key, BlockId* leaf, bool* found);
+  /// LIPP helper: smallest DATA fence >= key in `node`, scanning forward
+  /// from the predicted slot and descending into NODE slots.
+  Status LippCeiling(BlockId node, Key key, bool first, Record* fence, bool* found);
+
+  Status ReadFence(std::uint64_t pos, Record* fence);
+
+  HybridInner inner_kind_;
+  std::unique_ptr<PagedFile> inner_file_;
+  std::unique_ptr<PagedFile> leaf_file_;
+
+  // PLA inner (kFiting / kPgm).
+  std::unique_ptr<StaticPgm> pla_;
+
+  // ALEX locator (kAlex).
+  BlockId alex_root_ = kInvalidBlock;
+  std::uint32_t alex_root_blocks_ = 0;
+  BlockId fence_start_ = kInvalidBlock;  // contiguous fence array
+  std::uint64_t fence_count_ = 0;
+
+  // LIPP inner (kLipp).
+  BlockId lipp_root_ = kInvalidBlock;
+
+  std::uint64_t num_records_ = 0;
+  std::uint64_t leaf_count_ = 0;
+  Key max_key_ = kMinKey;
+  bool bulkloaded_ = false;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_HYBRID_HYBRID_INDEX_H_

@@ -1,0 +1,68 @@
+#ifndef LIOD_LIPP_LIPP_INDEX_H_
+#define LIOD_LIPP_LIPP_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "lipp/lipp_node.h"
+
+namespace liod {
+
+/// The paper's on-disk LIPP (Wu et al. 2021, ported in Section 4.2):
+/// FMCD-built models with exact per-node predictions, a single node type
+/// with DATA/NODE/NULL slot flags, conflict-driven child creation on insert
+/// (SMO type 1), statistics updated on every node along each insert path
+/// (the maintenance overhead of O7), and conflict-ratio-triggered subtree
+/// rebuilds (SMO type 2). Keys on a lookup path need no final search --
+/// predictions are exact (Table 1).
+class LippIndex final : public DiskIndex {
+ public:
+  explicit LippIndex(const IndexOptions& options);
+
+  std::string name() const override { return "lipp"; }
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+  IndexStats GetIndexStats() const override;
+
+  std::uint64_t node_count() const { return node_count_; }
+  std::uint64_t conflict_smo_count() const { return conflict_smo_count_; }
+  std::uint64_t rebuild_smo_count() const { return rebuild_smo_count_; }
+
+  /// Test helper: full-subtree validation (ordering + reachability + count).
+  Status CheckInvariants();
+
+ private:
+  struct PathEntry {
+    BlockId block;
+    std::uint32_t slot;
+    bool conflict_created;  // set later while updating statistics
+  };
+
+  Status ScanEmit(BlockId node, Key start_key, std::size_t count,
+                  std::vector<Record>* out, std::uint32_t from_slot);
+
+  /// Updates statistics in every path node's header and returns the topmost
+  /// node (if any) whose conflict ratio triggers a rebuild.
+  Status UpdatePathStats(const std::vector<PathEntry>& path, bool conflict,
+                         std::size_t* rebuild_depth, bool* rebuild);
+
+  Status RebuildSubtree(const std::vector<PathEntry>& path, std::size_t depth);
+
+  std::unique_ptr<PagedFile> file_;
+  BlockId root_ = kInvalidBlock;
+  std::uint64_t num_records_ = 0;
+  std::uint64_t node_count_ = 0;
+  std::uint32_t max_level_ = 0;
+  std::uint64_t conflict_smo_count_ = 0;
+  std::uint64_t rebuild_smo_count_ = 0;
+  bool bulkloaded_ = false;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_LIPP_LIPP_INDEX_H_

@@ -1,0 +1,142 @@
+#include "lipp/lipp_node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "segmentation/fmcd.h"
+
+namespace liod {
+
+std::uint32_t LippSlotRegionOff() { return sizeof(LippNodeHeader); }
+
+std::uint32_t LippRunBlocks(std::uint32_t num_slots, std::size_t block_size) {
+  const std::uint64_t total =
+      LippSlotRegionOff() + static_cast<std::uint64_t>(num_slots) * sizeof(LippSlot);
+  return static_cast<std::uint32_t>((total + block_size - 1) / block_size);
+}
+
+std::uint32_t LippSlotsFor(std::size_t num_keys, const IndexOptions& options) {
+  std::size_t mult = 1;
+  if (num_keys < options.lipp_small_node_limit) {
+    mult = 5;
+  } else if (num_keys < options.lipp_medium_node_limit) {
+    mult = 2;
+  }
+  return static_cast<std::uint32_t>(std::max<std::size_t>(16, num_keys * mult));
+}
+
+Status ReadLippSlot(PagedFile* file, BlockId start, std::uint32_t slot, LippSlot* out) {
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            LippSlotRegionOff() +
+                            static_cast<std::uint64_t>(slot) * sizeof(LippSlot);
+  return file->ReadBytes(off, sizeof(LippSlot), reinterpret_cast<std::byte*>(out));
+}
+
+Status WriteLippSlot(PagedFile* file, BlockId start, std::uint32_t slot,
+                     const LippSlot& value) {
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            LippSlotRegionOff() +
+                            static_cast<std::uint64_t>(slot) * sizeof(LippSlot);
+  return file->WriteBytes(off, sizeof(LippSlot), reinterpret_cast<const std::byte*>(&value));
+}
+
+Status ReadLippSlotRange(PagedFile* file, BlockId start, std::uint32_t first,
+                         std::uint32_t count, std::vector<LippSlot>* out) {
+  out->resize(count);
+  if (count == 0) return Status::Ok();
+  const std::uint64_t off = static_cast<std::uint64_t>(start) * file->block_size() +
+                            LippSlotRegionOff() +
+                            static_cast<std::uint64_t>(first) * sizeof(LippSlot);
+  return file->ReadBytes(off, static_cast<std::uint64_t>(count) * sizeof(LippSlot),
+                         reinterpret_cast<std::byte*>(out->data()));
+}
+
+Status BuildLippSubtree(PagedFile* file, std::span<const Record> records,
+                        std::uint32_t level, const IndexOptions& options,
+                        BlockId* out_block, std::uint64_t* created_nodes,
+                        std::uint32_t* max_level) {
+  const std::size_t bs = file->block_size();
+  const std::uint32_t num_slots = LippSlotsFor(records.size(), options);
+  const std::uint32_t run_blocks = LippRunBlocks(num_slots, bs);
+
+  LippNodeHeader header{};
+  header.num_slots = num_slots;
+  header.level = level;
+  header.size = static_cast<std::uint32_t>(records.size());
+  header.build_size = header.size;
+  header.run_blocks = run_blocks;
+
+  if (records.size() <= 1) {
+    header.model = LinearModel{0.0, static_cast<double>(num_slots) / 2.0};
+  } else {
+    std::vector<Key> keys(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) keys[i] = records[i].key;
+    header.model = BuildFmcd(keys, num_slots).model;
+  }
+
+  std::vector<LippSlot> slots(num_slots);  // zero == NULL
+
+  // Group consecutive records by predicted slot; one record -> DATA,
+  // conflicts -> a recursively built child NODE.
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const std::int64_t slot = header.model.PredictClamped(
+        records[i].key, static_cast<std::int64_t>(num_slots));
+    std::size_t j = i + 1;
+    while (j < records.size() &&
+           header.model.PredictClamped(records[j].key,
+                                       static_cast<std::int64_t>(num_slots)) == slot) {
+      ++j;
+    }
+    if (j - i == 1) {
+      slots[static_cast<std::size_t>(slot)] =
+          LippSlot::Data(records[i].key, records[i].payload);
+    } else {
+      BlockId child;
+      LIOD_RETURN_IF_ERROR(BuildLippSubtree(file, records.subspan(i, j - i), level + 1,
+                                            options, &child, created_nodes, max_level));
+      slots[static_cast<std::size_t>(slot)] = LippSlot::Node(child);
+    }
+    i = j;
+  }
+
+  // Serialize the node image (zero padding keeps NULL slots).
+  std::vector<std::byte> image(static_cast<std::size_t>(run_blocks) * bs, std::byte{0});
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + LippSlotRegionOff(), slots.data(),
+              slots.size() * sizeof(LippSlot));
+  const BlockId start = file->AllocateRun(run_blocks);
+  LIOD_RETURN_IF_ERROR(file->WriteBytes(static_cast<std::uint64_t>(start) * bs,
+                                        image.size(), image.data()));
+  ++*created_nodes;
+  *max_level = std::max(*max_level, level + 1);
+  *out_block = start;
+  return Status::Ok();
+}
+
+Status CollectLippSubtree(PagedFile* file, BlockId root, std::vector<Record>* records,
+                          std::vector<std::pair<BlockId, std::uint32_t>>* runs) {
+  const std::size_t bs = file->block_size();
+  LippNodeHeader header;
+  LIOD_RETURN_IF_ERROR(file->ReadBytes(static_cast<std::uint64_t>(root) * bs,
+                                       sizeof(header),
+                                       reinterpret_cast<std::byte*>(&header)));
+  if (runs != nullptr) runs->emplace_back(root, header.run_blocks);
+  std::vector<LippSlot> slots;
+  LIOD_RETURN_IF_ERROR(ReadLippSlotRange(file, root, 0, header.num_slots, &slots));
+  for (const LippSlot& slot : slots) {
+    switch (slot.kind()) {
+      case LippSlotKind::kNull:
+        break;
+      case LippSlotKind::kData:
+        records->push_back(Record{slot.key(), slot.payload()});
+        break;
+      case LippSlotKind::kNode:
+        LIOD_RETURN_IF_ERROR(CollectLippSubtree(file, slot.child(), records, runs));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

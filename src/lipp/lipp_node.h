@@ -1,0 +1,101 @@
+#ifndef LIOD_LIPP_LIPP_NODE_H_
+#define LIOD_LIPP_LIPP_NODE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+/// On-disk LIPP node format (Section 4.2): a single node type whose slots
+/// are typed DATA / NODE / NULL. The paper replaces ALEX's bitmap with a
+/// "slot flag to identify the type", removing the separate bitmap fetch:
+/// here the 2-bit flag lives in the top bits of each 16-byte slot, so
+/// reading a slot reads its type. Keys are therefore limited to < 2^62
+/// (all SOSD-style datasets satisfy this).
+///
+/// Layout per node run:  [header 64 B][slots num_slots*16 B]
+enum class LippSlotKind : std::uint8_t {
+  kNull = 0,
+  kData = 1,
+  kNode = 2,
+};
+
+struct LippNodeHeader {
+  LinearModel model;  // key -> slot in [0, num_slots)
+  std::uint32_t num_slots;
+  std::uint32_t level;
+  // Per-node statistics, updated along the whole insert path (the paper's
+  // LIPP maintenance overhead, O7) and driving subtree rebuilds.
+  std::uint32_t num_inserts;         // inserts routed through this node
+  std::uint32_t num_insert_to_data;  // conflict children created below
+  std::uint32_t size;                // keys currently in the subtree
+  std::uint32_t build_size;          // keys when the subtree was (re)built
+  std::uint32_t run_blocks;
+  std::uint32_t padding[5];
+};
+static_assert(sizeof(LippNodeHeader) == 64);
+
+/// One 16-byte slot; the kind tag occupies the top 2 bits of `tagged`.
+struct LippSlot {
+  static constexpr std::uint64_t kValueMask = (1ULL << 62) - 1;
+
+  std::uint64_t tagged = 0;
+  std::uint64_t value = 0;
+
+  LippSlotKind kind() const { return static_cast<LippSlotKind>(tagged >> 62); }
+  Key key() const { return tagged & kValueMask; }
+  Payload payload() const { return value; }
+  BlockId child() const { return static_cast<BlockId>(tagged & kValueMask); }
+
+  static LippSlot Data(Key key, Payload payload) {
+    return LippSlot{(1ULL << 62) | (key & kValueMask), payload};
+  }
+  static LippSlot Node(BlockId child) {
+    return LippSlot{(2ULL << 62) | child, 0};
+  }
+};
+static_assert(sizeof(LippSlot) == 16);
+
+/// Largest key representable in a tagged slot.
+inline constexpr Key kLippMaxKey = LippSlot::kValueMask;
+
+/// Geometry helpers.
+std::uint32_t LippSlotRegionOff();
+std::uint32_t LippRunBlocks(std::uint32_t num_slots, std::size_t block_size);
+
+/// The paper's node sizing rule (O11): <100k keys -> 5x slots,
+/// [100k, 1M) -> 2x, >= 1M -> 1x.
+std::uint32_t LippSlotsFor(std::size_t num_keys, const IndexOptions& options);
+
+/// Reads/writes one slot (type tag included).
+Status ReadLippSlot(PagedFile* file, BlockId start, std::uint32_t slot, LippSlot* out);
+Status WriteLippSlot(PagedFile* file, BlockId start, std::uint32_t slot,
+                     const LippSlot& value);
+
+/// Reads slots [first, first+count) into out (sequential blocks).
+Status ReadLippSlotRange(PagedFile* file, BlockId start, std::uint32_t first,
+                         std::uint32_t count, std::vector<LippSlot>* out);
+
+/// Builds a LIPP (sub)tree from sorted records; returns the root block.
+/// Child nodes are created recursively for conflicting slots (FMCD models).
+/// `created_nodes`/`max_level` accumulate build statistics.
+Status BuildLippSubtree(PagedFile* file, std::span<const Record> records,
+                        std::uint32_t level, const IndexOptions& options,
+                        BlockId* out_block, std::uint64_t* created_nodes,
+                        std::uint32_t* max_level);
+
+/// In-order collection of every record in the subtree; also returns every
+/// node run (block, blocks) so a rebuild can free them.
+Status CollectLippSubtree(PagedFile* file, BlockId root, std::vector<Record>* records,
+                          std::vector<std::pair<BlockId, std::uint32_t>>* runs);
+
+}  // namespace liod
+
+#endif  // LIOD_LIPP_LIPP_NODE_H_

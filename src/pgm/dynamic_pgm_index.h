@@ -1,0 +1,85 @@
+#ifndef LIOD_PGM_DYNAMIC_PGM_INDEX_H_
+#define LIOD_PGM_DYNAMIC_PGM_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "pgm/static_pgm.h"
+
+namespace liod {
+
+/// The paper's updatable on-disk PGM (Sections 2.1 and 4.2): an LSM of
+/// immutable StaticPgm indexes of geometrically growing capacities, plus a
+/// small sorted on-disk insert buffer (~3 blocks, Section 6.1.3).
+///
+///  * Insert: binary search + shift in the sorted buffer; when full, the
+///    buffer and every level it no longer fits beside are merged into one
+///    larger static index (the SMO). Merged levels' files are deleted --
+///    PGM is the only studied index that reclaims disk space (Section 6.3).
+///  * Lookup: probe the buffer, then every live level from smallest to
+///    largest -- the multi-file penalty behind observation O10.
+///  * Scan: k-way merge of the buffer and all levels, newest-wins on
+///    duplicate keys (upserted keys shadow older versions).
+class DynamicPgmIndex final : public DiskIndex {
+ public:
+  explicit DynamicPgmIndex(const IndexOptions& options);
+  ~DynamicPgmIndex() override;
+
+  std::string name() const override { return "pgm"; }
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+
+  /// Note: num_records may transiently overcount an upserted key whose old
+  /// version lives in a level that no merge has consolidated yet (standard
+  /// LSM bookkeeping); it becomes exact after a full merge.
+  IndexStats GetIndexStats() const override;
+
+  std::size_t live_level_count() const;
+  std::uint64_t merge_count() const { return merge_count_; }
+
+  /// Test helper: full-content comparison hooks.
+  Status CollectAll(std::vector<Record>* out);
+
+ private:
+  struct Level {
+    std::unique_ptr<PagedFile> inner_file;
+    std::unique_ptr<PagedFile> leaf_file;
+    std::unique_ptr<StaticPgm> pgm;
+  };
+
+  std::uint64_t LevelCapacity(std::size_t slot) const;
+
+  /// Reads the whole live buffer (merges, scans).
+  Status ReadBuffer(std::vector<Record>* out);
+
+  /// Block-wise binary search of the sorted buffer: reads one block at a
+  /// time with early exit, as the paper observes ("PGM only needs to fetch
+  /// one or two blocks to find the position"). The live record count is part
+  /// of the memory-resident meta, like every index's meta block.
+  Status BufferFind(Key key, std::size_t* pos, bool* exists, Payload* payload);
+
+  /// Merges the buffer plus levels [0, up_to] into a new static index.
+  Status MergeInto(std::size_t slot, std::vector<Record>&& buffer_records);
+
+  Status BuildLevel(std::size_t slot, std::span<const Record> records);
+  void DropLevel(std::size_t slot);
+
+  std::unique_ptr<PagedFile> buffer_file_;
+  BlockId buffer_start_ = kInvalidBlock;
+  std::uint32_t buffer_capacity_ = 0;
+  std::uint32_t buffer_count_ = 0;  // mirrored in the on-disk header
+
+  std::vector<Level> levels_;  // slot i capacity = buffer_cap * 2^(i+1)
+  std::uint64_t num_records_ = 0;
+  std::uint64_t merge_count_ = 0;
+  bool bulkloaded_ = false;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_PGM_DYNAMIC_PGM_INDEX_H_

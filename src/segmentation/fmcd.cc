@@ -1,0 +1,104 @@
+#include "segmentation/fmcd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liod {
+
+FmcdResult BuildFmcd(std::span<const Key> keys, std::int64_t num_slots) {
+  FmcdResult result;
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  assert(n >= 1 && num_slots >= n);
+  const std::int64_t l = num_slots;
+
+  if (n == 1) {
+    result.model.slope = 0.0;
+    result.model.intercept = static_cast<double>(l) / 2.0;
+    result.conflict_degree = 1;
+    return result;
+  }
+  if (n <= 4 || l <= 2) {
+    // Too few keys for the FMCD window scan (its inner key range
+    // degenerates); plain interpolation has conflict degree <= 2 here.
+    result.model = LinearModel::FromPoints(keys.front(), 0.5, keys.back(),
+                                           static_cast<double>(l) - 0.5);
+    result.conflict_degree = ComputeConflictDegree(keys, result.model, l);
+    return result;
+  }
+
+  // FMCD main scan: find the smallest conflict degree D such that every
+  // window of D consecutive keys spans at least Ut key units, where
+  // Ut = (key range of the "inner" n-2D keys) / (L - 2).
+  std::int64_t i = 0;
+  std::int64_t d = 1;
+  bool degenerate = false;
+  const auto compute_ut = [&](std::int64_t dd, long double* out) {
+    // The inner window must have positive key range or Ut is meaningless.
+    if (n - 1 - dd <= dd || keys[n - 1 - dd] <= keys[dd]) return false;
+    *out = (static_cast<long double>(keys[n - 1 - dd]) -
+            static_cast<long double>(keys[dd])) /
+               static_cast<long double>(l - 2) +
+           1e-6L;
+    return true;
+  };
+  long double ut = 0.0L;
+  if (!compute_ut(d, &ut)) degenerate = true;
+  while (!degenerate && i < n - 1 - d) {
+    while (i + d < n && static_cast<long double>(keys[i + d] - keys[i]) >= ut) {
+      ++i;
+    }
+    if (i + d >= n) break;
+    ++d;
+    if (d * 3 > n) break;
+    if (!compute_ut(d, &ut)) {
+      degenerate = true;
+      break;
+    }
+  }
+
+  if (!degenerate && d * 3 <= n) {
+    result.model.slope = static_cast<double>(1.0L / ut);
+    result.model.intercept = static_cast<double>(
+        (static_cast<long double>(l) -
+         static_cast<long double>(result.model.slope) *
+             (static_cast<long double>(keys[n - 1 - d]) + static_cast<long double>(keys[d]))) /
+        2.0L);
+    result.used_fallback = false;
+  } else {
+    // Fallback: interpolate through the 1/3 and 2/3 quantiles (LIPP's
+    // "broken FMCD" path).
+    const std::int64_t i1 = n / 3;
+    const std::int64_t i2 = n * 2 / 3;
+    const double t1 = static_cast<double>(i1) * static_cast<double>(l) / static_cast<double>(n);
+    const double t2 = static_cast<double>(i2) * static_cast<double>(l) / static_cast<double>(n);
+    result.model = LinearModel::FromPoints(keys[i1], t1, keys[i2], t2);
+    if (!std::isfinite(result.model.slope) || result.model.slope <= 0.0) {
+      result.model = LinearModel::FromPoints(keys.front(), 0.5, keys.back(),
+                                             static_cast<double>(l) - 0.5);
+    }
+    result.used_fallback = true;
+  }
+  result.conflict_degree = ComputeConflictDegree(keys, result.model, l);
+  return result;
+}
+
+std::int64_t ComputeConflictDegree(std::span<const Key> keys, const LinearModel& model,
+                                   std::int64_t num_slots) {
+  std::int64_t max_conflict = 0;
+  std::int64_t run = 0;
+  std::int64_t prev_slot = -1;
+  for (Key key : keys) {
+    const std::int64_t slot = model.PredictClamped(key, num_slots);
+    if (slot == prev_slot) {
+      ++run;
+    } else {
+      run = 1;
+      prev_slot = slot;
+    }
+    max_conflict = std::max(max_conflict, run);
+  }
+  return max_conflict;
+}
+
+}  // namespace liod

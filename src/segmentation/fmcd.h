@@ -1,0 +1,34 @@
+#ifndef LIOD_SEGMENTATION_FMCD_H_
+#define LIOD_SEGMENTATION_FMCD_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/linear_model.h"
+#include "common/types.h"
+
+namespace liod {
+
+/// Result of running LIPP's Fastest Minimum Conflict Degree algorithm.
+struct FmcdResult {
+  LinearModel model;              ///< maps key -> slot in [0, num_slots)
+  std::int64_t conflict_degree = 0;  ///< max keys mapped to one slot
+  bool used_fallback = false;     ///< true if FMCD aborted and quantile
+                                  ///< interpolation was used instead
+};
+
+/// LIPP's FMCD (Wu et al., VLDB 2021, Algorithm 2): finds a linear model for
+/// `keys` over `num_slots` slots with a small maximum conflict degree in
+/// O(n). Falls back to quantile interpolation when the scan detects the
+/// conflict degree would exceed n/3. `keys` must be sorted, unique,
+/// non-empty; num_slots >= keys.size().
+FmcdResult BuildFmcd(std::span<const Key> keys, std::int64_t num_slots);
+
+/// Exact maximum number of keys that `model` maps to a single slot of
+/// [0, num_slots). Used for Table 3's "Conflict Degree" row and by tests.
+std::int64_t ComputeConflictDegree(std::span<const Key> keys, const LinearModel& model,
+                                   std::int64_t num_slots);
+
+}  // namespace liod
+
+#endif  // LIOD_SEGMENTATION_FMCD_H_

@@ -1,0 +1,59 @@
+#include "segmentation/greedy_segmentation.h"
+
+#include <limits>
+
+namespace liod {
+
+std::vector<PlaSegment> BuildGreedySegments(std::span<const Key> keys, std::uint32_t epsilon) {
+  std::vector<PlaSegment> segments;
+  const std::size_t n = keys.size();
+  if (n == 0) return segments;
+
+  const double eps = static_cast<double>(epsilon);
+  std::size_t start = 0;
+  double slope_low = 0.0;
+  double slope_high = std::numeric_limits<double>::infinity();
+
+  auto close = [&](std::size_t end_exclusive) {
+    PlaSegment seg;
+    seg.first_key = keys[start];
+    seg.last_key = keys[end_exclusive - 1];
+    seg.first_pos = start;
+    seg.count = end_exclusive - start;
+    if (seg.count == 1 || slope_high == std::numeric_limits<double>::infinity()) {
+      seg.slope = 0.0;
+    } else {
+      seg.slope = (slope_low + slope_high) / 2.0;
+    }
+    seg.intercept = static_cast<double>(start);  // anchored at the first point
+    segments.push_back(seg);
+  };
+
+  for (std::size_t i = start + 1; i < n; ++i) {
+    const double dx = static_cast<double>(keys[i] - keys[start]);
+    const double dy = static_cast<double>(i - start);
+    // The cone: every slope in [low, high] keeps all points within +/- eps
+    // of the line through (keys[start], start).
+    const double high = (dy + eps) / dx;
+    const double low = dy > eps ? (dy - eps) / dx : 0.0;
+    const double new_high = high < slope_high ? high : slope_high;
+    const double new_low = low > slope_low ? low : slope_low;
+    if (new_low > new_high) {
+      close(i);
+      start = i;
+      slope_low = 0.0;
+      slope_high = std::numeric_limits<double>::infinity();
+    } else {
+      slope_high = new_high;
+      slope_low = new_low;
+    }
+  }
+  close(n);
+  return segments;
+}
+
+std::size_t CountGreedySegments(std::span<const Key> keys, std::uint32_t epsilon) {
+  return BuildGreedySegments(keys, epsilon).size();
+}
+
+}  // namespace liod

@@ -1,0 +1,27 @@
+#ifndef LIOD_SEGMENTATION_GREEDY_SEGMENTATION_H_
+#define LIOD_SEGMENTATION_GREEDY_SEGMENTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "segmentation/piecewise_linear.h"
+
+namespace liod {
+
+/// The FITing-tree's original greedy "shrinking cone" segmentation
+/// (Galakatos et al., SIGMOD 2019): each segment's model is anchored at the
+/// segment's first point and the feasible slope interval shrinks as points
+/// are added; the segment closes when the interval empties.
+///
+/// Kept alongside the optimal PLA because the paper (Section 4.2) replaces
+/// greedy with the streaming algorithm, and the profiling/ablation benches
+/// compare the two.
+std::vector<PlaSegment> BuildGreedySegments(std::span<const Key> keys, std::uint32_t epsilon);
+
+std::size_t CountGreedySegments(std::span<const Key> keys, std::uint32_t epsilon);
+
+}  // namespace liod
+
+#endif  // LIOD_SEGMENTATION_GREEDY_SEGMENTATION_H_

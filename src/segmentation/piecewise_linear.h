@@ -1,0 +1,98 @@
+#ifndef LIOD_SEGMENTATION_PIECEWISE_LINEAR_H_
+#define LIOD_SEGMENTATION_PIECEWISE_LINEAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace liod {
+
+/// One piecewise-linear segment over a sorted key array. The model predicts
+/// *global* positions: predicted(key) = slope * (key - first_key) + intercept,
+/// guaranteed within +/- epsilon of the true position for every covered key.
+struct PlaSegment {
+  Key first_key = 0;
+  Key last_key = 0;
+  std::uint64_t first_pos = 0;  ///< global position of the first covered key
+  std::uint64_t count = 0;      ///< number of keys covered
+  double slope = 0.0;
+  double intercept = 0.0;       ///< predicted global position at first_key
+
+  double PredictGlobal(Key key) const {
+    return slope * (static_cast<double>(key) - static_cast<double>(first_key)) + intercept;
+  }
+  /// Predicted position relative to the segment start, clamped to [0, count).
+  std::int64_t PredictLocal(Key key) const {
+    const double p = PredictGlobal(key) - static_cast<double>(first_pos);
+    if (p <= 0.0) return 0;
+    const auto pos = static_cast<std::int64_t>(p);
+    return pos >= static_cast<std::int64_t>(count) ? static_cast<std::int64_t>(count) - 1 : pos;
+  }
+};
+
+/// Streaming *optimal* piecewise-linear approximation (O'Rourke 1981), the
+/// algorithm PGM uses and the one the paper substitutes into its FITing-tree
+/// implementation (Section 4.2). Produces the minimum number of maximal
+/// segments such that each segment's linear model has error <= epsilon.
+///
+/// Feed strictly increasing keys via Add(); completed segments accumulate and
+/// are returned by Finish(). Exact 128-bit integer arithmetic is used for all
+/// feasibility tests.
+class PlaBuilder {
+ public:
+  explicit PlaBuilder(std::uint32_t epsilon);
+
+  /// Adds the next key (positions auto-increment from 0). Keys must be
+  /// strictly increasing.
+  void Add(Key key);
+
+  /// Closes the open segment and returns all segments.
+  std::vector<PlaSegment> Finish();
+
+  std::uint64_t keys_added() const { return next_pos_; }
+
+ private:
+  struct Point {
+    __int128 x;  // key, relative to the open segment's first key
+    __int128 y;  // position +/- epsilon, relative to segment first position
+  };
+
+  void StartSegment(Key key);
+  bool TryExtend(Key key);  // returns false if the point breaks feasibility
+  void CloseSegment();
+
+  std::uint32_t epsilon_;
+  std::vector<PlaSegment> segments_;
+
+  // --- state of the open segment ---
+  bool open_ = false;
+  Key seg_first_key_ = 0;
+  Key seg_last_key_ = 0;
+  std::uint64_t seg_first_pos_ = 0;
+  std::uint64_t seg_count_ = 0;
+  std::uint64_t next_pos_ = 0;
+
+  // Feasible-line state (PGM-style rectangle + hulls).
+  Point rect_[4];
+  std::vector<Point> upper_;  // lower convex hull of (x, y+eps) points
+  std::vector<Point> lower_;  // upper convex hull of (x, y-eps) points
+  std::size_t upper_start_ = 0;
+  std::size_t lower_start_ = 0;
+};
+
+/// Convenience: run the builder over a sorted unique key array.
+std::vector<PlaSegment> BuildOptimalPla(std::span<const Key> keys, std::uint32_t epsilon);
+
+/// Number of optimal segments only (Table 3 profiling).
+std::size_t CountOptimalPlaSegments(std::span<const Key> keys, std::uint32_t epsilon);
+
+/// Verifies that `segment`'s model is within epsilon (+ rounding slack) of the
+/// true position of every covered key. Test/validation helper.
+bool ValidatePlaSegment(const PlaSegment& segment, std::span<const Key> all_keys,
+                        std::uint32_t epsilon);
+
+}  // namespace liod
+
+#endif  // LIOD_SEGMENTATION_PIECEWISE_LINEAR_H_

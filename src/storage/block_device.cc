@@ -1,0 +1,91 @@
+#include "storage/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace liod {
+
+MemoryBlockDevice::MemoryBlockDevice(std::size_t block_size) : BlockDevice(block_size) {}
+
+Status MemoryBlockDevice::Read(BlockId id, std::byte* out) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("read past device end: block " + std::to_string(id));
+  }
+  std::memcpy(out, blocks_[id].get(), block_size());
+  return Status::Ok();
+}
+
+Status MemoryBlockDevice::Write(BlockId id, const std::byte* data) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("write past device end: block " + std::to_string(id));
+  }
+  std::memcpy(blocks_[id].get(), data, block_size());
+  return Status::Ok();
+}
+
+BlockId MemoryBlockDevice::num_blocks() const { return static_cast<BlockId>(blocks_.size()); }
+
+Status MemoryBlockDevice::Grow(BlockId new_num_blocks) {
+  while (blocks_.size() < new_num_blocks) {
+    auto block = std::make_unique<std::byte[]>(block_size());
+    std::memset(block.get(), 0, block_size());
+    blocks_.push_back(std::move(block));
+  }
+  return Status::Ok();
+}
+
+FileBlockDevice::FileBlockDevice(const std::string& path, std::size_t block_size, bool truncate)
+    : BlockDevice(block_size), path_(path) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ >= 0 && !truncate) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end > 0) num_blocks_ = static_cast<BlockId>(static_cast<std::size_t>(end) / block_size);
+  }
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBlockDevice::Read(BlockId id, std::byte* out) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("read past device end: block " + std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(block_size());
+  const ssize_t n = ::pread(fd_, out, block_size(), off);
+  if (n != static_cast<ssize_t>(block_size())) {
+    return Status::IoError("pread failed on " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::Write(BlockId id, const std::byte* data) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("write past device end: block " + std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(block_size());
+  const ssize_t n = ::pwrite(fd_, data, block_size(), off);
+  if (n != static_cast<ssize_t>(block_size())) {
+    return Status::IoError("pwrite failed on " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+BlockId FileBlockDevice::num_blocks() const { return num_blocks_; }
+
+Status FileBlockDevice::Grow(BlockId new_num_blocks) {
+  if (new_num_blocks <= num_blocks_) return Status::Ok();
+  const off_t new_size = static_cast<off_t>(new_num_blocks) * static_cast<off_t>(block_size());
+  if (::ftruncate(fd_, new_size) != 0) {
+    return Status::IoError("ftruncate failed on " + path_ + ": " + std::strerror(errno));
+  }
+  num_blocks_ = new_num_blocks;
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -1,0 +1,82 @@
+#ifndef LIOD_STORAGE_BLOCK_DEVICE_H_
+#define LIOD_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block.h"
+
+namespace liod {
+
+/// Abstract fixed-block-size storage device. All index data flows through
+/// this interface so that every block transfer is observable; the simulated
+/// devices below back the evaluation, while FileBlockDevice demonstrates the
+/// same code against a real filesystem.
+class BlockDevice {
+ public:
+  explicit BlockDevice(std::size_t block_size) : block_size_(block_size) {}
+  virtual ~BlockDevice() = default;
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  std::size_t block_size() const { return block_size_; }
+
+  /// Reads block `id` into `out` (exactly block_size() bytes).
+  virtual Status Read(BlockId id, std::byte* out) = 0;
+
+  /// Writes exactly block_size() bytes from `data` to block `id`.
+  virtual Status Write(BlockId id, const std::byte* data) = 0;
+
+  /// Number of blocks currently addressable.
+  virtual BlockId num_blocks() const = 0;
+
+  /// Extends the device to at least `new_num_blocks` blocks (zero-filled).
+  virtual Status Grow(BlockId new_num_blocks) = 0;
+
+ private:
+  std::size_t block_size_;
+};
+
+/// In-RAM simulated disk. Backs the evaluation: exact, deterministic, and
+/// fast, while preserving block-transfer granularity.
+class MemoryBlockDevice final : public BlockDevice {
+ public:
+  explicit MemoryBlockDevice(std::size_t block_size);
+
+  Status Read(BlockId id, std::byte* out) override;
+  Status Write(BlockId id, const std::byte* data) override;
+  BlockId num_blocks() const override;
+  Status Grow(BlockId new_num_blocks) override;
+
+ private:
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+};
+
+/// File-backed device using POSIX pread/pwrite. Used by the examples to show
+/// the indexes running against a real filesystem.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Creates (truncates) or opens `path`. Check `ok()` before use.
+  FileBlockDevice(const std::string& path, std::size_t block_size, bool truncate = true);
+  ~FileBlockDevice() override;
+
+  bool ok() const { return fd_ >= 0; }
+
+  Status Read(BlockId id, std::byte* out) override;
+  Status Write(BlockId id, const std::byte* data) override;
+  BlockId num_blocks() const override;
+  Status Grow(BlockId new_num_blocks) override;
+
+ private:
+  int fd_ = -1;
+  BlockId num_blocks_ = 0;
+  std::string path_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_STORAGE_BLOCK_DEVICE_H_

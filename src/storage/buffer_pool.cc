@@ -1,0 +1,67 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace liod {
+
+BufferPool::BufferPool(BlockDevice* device, IoStats* stats, FileClass klass,
+                       std::size_t capacity_blocks, bool count_io)
+    : device_(device),
+      stats_(stats),
+      klass_(klass),
+      capacity_(capacity_blocks == 0 ? 1 : capacity_blocks),
+      count_io_(count_io) {}
+
+Status BufferPool::GetFrame(BlockId id, bool fetch_on_miss, Frame** out) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = &*it->second;
+    return Status::Ok();
+  }
+  ++misses_;
+  Frame frame;
+  frame.id = id;
+  frame.data = std::make_unique<std::byte[]>(device_->block_size());
+  if (fetch_on_miss) {
+    LIOD_RETURN_IF_ERROR(device_->Read(id, frame.data.get()));
+    if (count_io_ && stats_ != nullptr) stats_->CountRead(klass_);
+  }
+  EvictIfNeeded();
+  lru_.push_front(std::move(frame));
+  frames_[id] = lru_.begin();
+  *out = &lru_.front();
+  return Status::Ok();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (!lru_.empty() && lru_.size() >= capacity_ && capacity_ != kUnbounded) {
+    frames_.erase(lru_.back().id);
+    lru_.pop_back();  // frames are clean (write-through): no flush needed
+  }
+}
+
+Status BufferPool::ReadBlock(BlockId id, std::byte* out) {
+  Frame* frame = nullptr;
+  LIOD_RETURN_IF_ERROR(GetFrame(id, /*fetch_on_miss=*/true, &frame));
+  std::memcpy(out, frame->data.get(), device_->block_size());
+  return Status::Ok();
+}
+
+Status BufferPool::WriteBlock(BlockId id, const std::byte* data) {
+  // Write-through: the device write always happens and is always counted.
+  LIOD_RETURN_IF_ERROR(device_->Write(id, data));
+  if (count_io_ && stats_ != nullptr) stats_->CountWrite(klass_);
+  Frame* frame = nullptr;
+  LIOD_RETURN_IF_ERROR(GetFrame(id, /*fetch_on_miss=*/false, &frame));
+  std::memcpy(frame->data.get(), data, device_->block_size());
+  return Status::Ok();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace liod

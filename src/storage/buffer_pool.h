@@ -1,0 +1,74 @@
+#ifndef LIOD_STORAGE_BUFFER_POOL_H_
+#define LIOD_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/block_device.h"
+#include "storage/io_stats.h"
+
+namespace liod {
+
+/// LRU cache of block frames over one BlockDevice, with write-through
+/// semantics so that every logical block write is a counted device write.
+///
+/// The paper's default setting performs no buffer management other than
+/// "check whether the last block fetched can be reused" (Section 6.5) --
+/// that is a BufferPool with capacity 1. The buffer-size study (Figure 13)
+/// sweeps the capacity. `count_io = false` (plus a large capacity) realizes
+/// the memory-resident-inner-node mode of Section 6.2.
+class BufferPool {
+ public:
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  /// `device` must outlive the pool. `stats` may be shared across pools.
+  BufferPool(BlockDevice* device, IoStats* stats, FileClass klass,
+             std::size_t capacity_blocks, bool count_io = true);
+
+  /// Copies block `id` into `out`. A cache miss performs (and counts) a
+  /// device read; a hit performs none.
+  Status ReadBlock(BlockId id, std::byte* out);
+
+  /// Writes block `id` from `data`: the device write happens immediately and
+  /// is counted; the frame is retained so subsequent reads hit.
+  Status WriteBlock(BlockId id, const std::byte* data);
+
+  /// Drops all cached frames (no I/O: frames are always clean).
+  void Clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t cached_blocks() const { return frames_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    BlockId id;
+    std::unique_ptr<std::byte[]> data;
+  };
+  using LruList = std::list<Frame>;
+
+  /// Returns the frame for `id`, fetching from the device on miss; moves it
+  /// to the MRU position.
+  Status GetFrame(BlockId id, bool fetch_on_miss, Frame** out);
+  void EvictIfNeeded();
+
+  BlockDevice* device_;
+  IoStats* stats_;
+  FileClass klass_;
+  std::size_t capacity_;
+  bool count_io_;
+
+  LruList lru_;  // front = most recently used
+  std::unordered_map<BlockId, LruList::iterator> frames_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_STORAGE_BUFFER_POOL_H_

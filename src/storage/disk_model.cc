@@ -1,0 +1,23 @@
+#include "storage/disk_model.h"
+
+namespace liod {
+
+DiskModel DiskModel::Hdd() { return DiskModel{"hdd", 8000.0, 8500.0}; }
+
+DiskModel DiskModel::Ssd() { return DiskModel{"ssd", 100.0, 120.0}; }
+
+DiskModel DiskModel::None() { return DiskModel{"none", 0.0, 0.0}; }
+
+double DiskModel::IoMicros(const IoStatsSnapshot& io) const {
+  return static_cast<double>(io.TotalReads()) * read_latency_us +
+         static_cast<double>(io.TotalWrites()) * write_latency_us;
+}
+
+double DiskModel::ThroughputOps(std::uint64_t ops, double cpu_micros,
+                                const IoStatsSnapshot& io) const {
+  const double total_us = cpu_micros + IoMicros(io);
+  if (total_us <= 0.0) return 0.0;
+  return static_cast<double>(ops) * 1e6 / total_us;
+}
+
+}  // namespace liod

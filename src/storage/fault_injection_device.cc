@@ -1,0 +1,36 @@
+#include "storage/fault_injection_device.h"
+
+#include <string>
+#include <utility>
+
+namespace liod {
+
+FaultInjectionDevice::FaultInjectionDevice(std::unique_ptr<BlockDevice> base)
+    : BlockDevice(base->block_size()), base_(std::move(base)) {}
+
+Status FaultInjectionDevice::MaybeFail(BlockId id, const char* op) {
+  if (poisoned_block_ != kInvalidBlock && id == poisoned_block_) {
+    ++injected_failures_;
+    return Status::IoError(std::string("injected failure on poisoned block during ") + op);
+  }
+  if (fail_after_ >= 0) {
+    if (fail_after_ == 0) {
+      ++injected_failures_;
+      return Status::IoError(std::string("injected failure during ") + op);
+    }
+    --fail_after_;
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionDevice::Read(BlockId id, std::byte* out) {
+  LIOD_RETURN_IF_ERROR(MaybeFail(id, "read"));
+  return base_->Read(id, out);
+}
+
+Status FaultInjectionDevice::Write(BlockId id, const std::byte* data) {
+  LIOD_RETURN_IF_ERROR(MaybeFail(id, "write"));
+  return base_->Write(id, data);
+}
+
+}  // namespace liod

@@ -1,0 +1,44 @@
+#ifndef LIOD_STORAGE_FAULT_INJECTION_DEVICE_H_
+#define LIOD_STORAGE_FAULT_INJECTION_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/block_device.h"
+
+namespace liod {
+
+/// Test-support wrapper that makes an underlying device fail on demand.
+/// Used by the failure-injection tests to verify that Status propagation
+/// through buffer pool, paged file, and index code never corrupts state.
+class FaultInjectionDevice final : public BlockDevice {
+ public:
+  explicit FaultInjectionDevice(std::unique_ptr<BlockDevice> base);
+
+  /// Fail every read/write after `n` more successful operations (0 = fail
+  /// immediately). Negative disables injected failures.
+  void FailAfter(std::int64_t n) { fail_after_ = n; }
+
+  /// Fail only operations touching block `id` (in addition to FailAfter).
+  void FailBlock(BlockId id) { poisoned_block_ = id; }
+  void ClearFailBlock() { poisoned_block_ = kInvalidBlock; }
+
+  std::uint64_t injected_failures() const { return injected_failures_; }
+
+  Status Read(BlockId id, std::byte* out) override;
+  Status Write(BlockId id, const std::byte* data) override;
+  BlockId num_blocks() const override { return base_->num_blocks(); }
+  Status Grow(BlockId new_num_blocks) override { return base_->Grow(new_num_blocks); }
+
+ private:
+  Status MaybeFail(BlockId id, const char* op);
+
+  std::unique_ptr<BlockDevice> base_;
+  std::int64_t fail_after_ = -1;
+  BlockId poisoned_block_ = kInvalidBlock;
+  std::uint64_t injected_failures_ = 0;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_STORAGE_FAULT_INJECTION_DEVICE_H_

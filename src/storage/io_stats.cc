@@ -1,0 +1,66 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace liod {
+
+const char* FileClassName(FileClass klass) {
+  switch (klass) {
+    case FileClass::kMeta: return "meta";
+    case FileClass::kInner: return "inner";
+    case FileClass::kLeaf: return "leaf";
+    case FileClass::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::uint64_t IoStatsSnapshot::TotalReads() const {
+  std::uint64_t total = 0;
+  for (auto r : reads) total += r;
+  return total;
+}
+
+std::uint64_t IoStatsSnapshot::TotalWrites() const {
+  std::uint64_t total = 0;
+  for (auto w : writes) total += w;
+  return total;
+}
+
+IoStatsSnapshot IoStatsSnapshot::operator-(const IoStatsSnapshot& rhs) const {
+  IoStatsSnapshot out;
+  for (int i = 0; i < kNumFileClasses; ++i) {
+    out.reads[i] = reads[i] - rhs.reads[i];
+    out.writes[i] = writes[i] - rhs.writes[i];
+  }
+  out.inner_nodes_visited = inner_nodes_visited - rhs.inner_nodes_visited;
+  out.leaf_nodes_visited = leaf_nodes_visited - rhs.leaf_nodes_visited;
+  return out;
+}
+
+IoStatsSnapshot& IoStatsSnapshot::operator+=(const IoStatsSnapshot& rhs) {
+  for (int i = 0; i < kNumFileClasses; ++i) {
+    reads[i] += rhs.reads[i];
+    writes[i] += rhs.writes[i];
+  }
+  inner_nodes_visited += rhs.inner_nodes_visited;
+  leaf_nodes_visited += rhs.leaf_nodes_visited;
+  return *this;
+}
+
+std::string IoStatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "reads{";
+  for (int i = 0; i < kNumFileClasses; ++i) {
+    if (i) os << ",";
+    os << FileClassName(static_cast<FileClass>(i)) << "=" << reads[i];
+  }
+  os << "} writes{";
+  for (int i = 0; i < kNumFileClasses; ++i) {
+    if (i) os << ",";
+    os << FileClassName(static_cast<FileClass>(i)) << "=" << writes[i];
+  }
+  os << "} nodes{inner=" << inner_nodes_visited << ",leaf=" << leaf_nodes_visited << "}";
+  return os.str();
+}
+
+}  // namespace liod

@@ -1,0 +1,60 @@
+#ifndef LIOD_STORAGE_IO_STATS_H_
+#define LIOD_STORAGE_IO_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace liod {
+
+/// Classification of files/blocks for the paper's per-class breakdowns
+/// (Table 4 splits fetched blocks into inner vs leaf).
+enum class FileClass : std::uint8_t {
+  kMeta = 0,   ///< Meta block(s): root address etc. (memory-resident in use).
+  kInner = 1,  ///< Inner-node file.
+  kLeaf = 2,   ///< Leaf/data-node file.
+  kOther = 3,  ///< Auxiliary (e.g. PGM insert buffer).
+};
+inline constexpr int kNumFileClasses = 4;
+
+const char* FileClassName(FileClass klass);
+
+/// A point-in-time copy of the counters; subtract two to get a delta.
+struct IoStatsSnapshot {
+  std::array<std::uint64_t, kNumFileClasses> reads{};
+  std::array<std::uint64_t, kNumFileClasses> writes{};
+  /// Logical node visits, incremented by index code (not by the pool):
+  std::uint64_t inner_nodes_visited = 0;
+  std::uint64_t leaf_nodes_visited = 0;
+
+  std::uint64_t TotalReads() const;
+  std::uint64_t TotalWrites() const;
+  std::uint64_t TotalIo() const { return TotalReads() + TotalWrites(); }
+  std::uint64_t ReadsFor(FileClass klass) const { return reads[static_cast<int>(klass)]; }
+  std::uint64_t WritesFor(FileClass klass) const { return writes[static_cast<int>(klass)]; }
+
+  IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const;
+  IoStatsSnapshot& operator+=(const IoStatsSnapshot& rhs);
+
+  std::string ToString() const;
+};
+
+/// Mutable counter hub shared by all files of one index. Buffer pools count
+/// device reads/writes here; index code counts logical node visits.
+class IoStats {
+ public:
+  void CountRead(FileClass klass) { ++snapshot_.reads[static_cast<int>(klass)]; }
+  void CountWrite(FileClass klass) { ++snapshot_.writes[static_cast<int>(klass)]; }
+  void CountInnerNodeVisit() { ++snapshot_.inner_nodes_visited; }
+  void CountLeafNodeVisit() { ++snapshot_.leaf_nodes_visited; }
+
+  const IoStatsSnapshot& snapshot() const { return snapshot_; }
+  void Reset() { snapshot_ = IoStatsSnapshot{}; }
+
+ private:
+  IoStatsSnapshot snapshot_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_STORAGE_IO_STATS_H_

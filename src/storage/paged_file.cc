@@ -1,0 +1,93 @@
+#include "storage/paged_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace liod {
+
+PagedFile::PagedFile(std::unique_ptr<BlockDevice> device, IoStats* stats, FileClass klass,
+                     const PagedFileOptions& options)
+    : device_(std::move(device)),
+      stats_(stats),
+      klass_(klass),
+      reuse_freed_space_(options.reuse_freed_space),
+      pool_(device_.get(), stats, klass,
+            options.count_io ? options.buffer_pool_blocks : BufferPool::kUnbounded,
+            options.count_io) {}
+
+BlockId PagedFile::Allocate() {
+  if (reuse_freed_space_ && !free_list_.empty()) {
+    const BlockId id = free_list_.back();
+    free_list_.pop_back();
+    --freed_blocks_;
+    return id;
+  }
+  return AllocateRun(1);
+}
+
+BlockId PagedFile::AllocateRun(std::uint32_t n) {
+  if (reuse_freed_space_ && n > 1) {
+    auto it = free_runs_.lower_bound(n);
+    if (it != free_runs_.end()) {
+      const BlockId start = it->second;
+      const std::uint32_t run = it->first;
+      free_runs_.erase(it);
+      if (run > n) free_runs_.emplace(run - n, start + n);
+      freed_blocks_ -= n;
+      return start;
+    }
+  }
+  const BlockId start = next_block_;
+  next_block_ += n;
+  CheckOk(device_->Grow(next_block_), "PagedFile::AllocateRun grow");
+  return start;
+}
+
+void PagedFile::Free(BlockId id, std::uint32_t n) {
+  freed_blocks_ += n;
+  if (!reuse_freed_space_) return;  // paper default: invalid space, never reused
+  if (n == 1) {
+    free_list_.push_back(id);
+  } else {
+    free_runs_.emplace(n, id);
+  }
+}
+
+Status PagedFile::ReadBytes(std::uint64_t byte_offset, std::uint64_t length, std::byte* out) {
+  const std::uint64_t bs = block_size();
+  BlockBuffer scratch(bs);
+  std::uint64_t done = 0;
+  while (done < length) {
+    const std::uint64_t pos = byte_offset + done;
+    const BlockId block = static_cast<BlockId>(pos / bs);
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t chunk = std::min(length - done, bs - in_block);
+    LIOD_RETURN_IF_ERROR(pool_.ReadBlock(block, scratch.data()));
+    std::memcpy(out + done, scratch.data() + in_block, chunk);
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status PagedFile::WriteBytes(std::uint64_t byte_offset, std::uint64_t length,
+                             const std::byte* data) {
+  const std::uint64_t bs = block_size();
+  BlockBuffer scratch(bs);
+  std::uint64_t done = 0;
+  while (done < length) {
+    const std::uint64_t pos = byte_offset + done;
+    const BlockId block = static_cast<BlockId>(pos / bs);
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t chunk = std::min(length - done, bs - in_block);
+    if (chunk < bs) {
+      // Partial block: read-modify-write.
+      LIOD_RETURN_IF_ERROR(pool_.ReadBlock(block, scratch.data()));
+    }
+    std::memcpy(scratch.data() + in_block, data + done, chunk);
+    LIOD_RETURN_IF_ERROR(pool_.WriteBlock(block, scratch.data()));
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

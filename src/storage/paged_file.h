@@ -1,0 +1,82 @@
+#ifndef LIOD_STORAGE_PAGED_FILE_H_
+#define LIOD_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/block_device.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+
+namespace liod {
+
+/// Options controlling one paged file.
+struct PagedFileOptions {
+  std::size_t buffer_pool_blocks = 1;
+  /// When false (paper behaviour, Section 6.3), freed blocks are only
+  /// accounted as invalid space and never handed out again.
+  bool reuse_freed_space = false;
+  /// When false, I/O on this file is not counted (Section 6.2 hybrid case).
+  bool count_io = true;
+};
+
+/// One on-disk file: a BlockDevice plus block allocation and a buffer pool.
+/// Every index file (inner, leaf, per-LSM-level, ...) is a PagedFile.
+class PagedFile {
+ public:
+  PagedFile(std::unique_ptr<BlockDevice> device, IoStats* stats, FileClass klass,
+            const PagedFileOptions& options);
+
+  std::size_t block_size() const { return device_->block_size(); }
+  FileClass file_class() const { return klass_; }
+
+  /// Allocates one block. Recycles freed blocks only if reuse is enabled.
+  BlockId Allocate();
+
+  /// Allocates `n` physically contiguous blocks and returns the first id.
+  /// Contiguity is required because a multi-block node must be stored in
+  /// adjacent space (Section 4.1).
+  BlockId AllocateRun(std::uint32_t n);
+
+  /// Marks `n` blocks starting at `id` as free. Under the paper's default
+  /// they become unreclaimable "invalid space" counted in the footprint.
+  void Free(BlockId id, std::uint32_t n = 1);
+
+  Status ReadBlock(BlockId id, std::byte* out) { return pool_.ReadBlock(id, out); }
+  Status WriteBlock(BlockId id, const std::byte* data) { return pool_.WriteBlock(id, data); }
+
+  /// Convenience: read/write an arbitrary byte range that may span blocks.
+  /// Each touched block costs one block I/O, exactly as the on-disk indexes
+  /// pay it. Partial head/tail blocks use read-modify-write on writes.
+  Status ReadBytes(std::uint64_t byte_offset, std::uint64_t length, std::byte* out);
+  Status WriteBytes(std::uint64_t byte_offset, std::uint64_t length, const std::byte* data);
+
+  BufferPool& pool() { return pool_; }
+
+  /// Total blocks ever allocated (the high-water mark = on-disk footprint;
+  /// the paper measures files this way since freed space is not reclaimed).
+  std::uint64_t allocated_blocks() const { return next_block_; }
+  std::uint64_t freed_blocks() const { return freed_blocks_; }
+  std::uint64_t live_blocks() const { return next_block_ - freed_blocks_; }
+  std::uint64_t size_bytes() const { return allocated_blocks() * block_size(); }
+
+ private:
+  std::unique_ptr<BlockDevice> device_;
+  IoStats* stats_;
+  FileClass klass_;
+  bool reuse_freed_space_;
+  BufferPool pool_;
+
+  BlockId next_block_ = 0;
+  std::uint64_t freed_blocks_ = 0;
+  std::vector<BlockId> free_list_;                 // single blocks (reuse mode)
+  std::multimap<std::uint32_t, BlockId> free_runs_;  // run length -> start
+};
+
+}  // namespace liod
+
+#endif  // LIOD_STORAGE_PAGED_FILE_H_

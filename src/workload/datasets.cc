@@ -1,0 +1,184 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/random.h"
+
+namespace liod {
+
+namespace {
+
+/// Gap-process generator: keys are cumulative sums of gaps drawn from a
+/// regime-switching distribution. PLA hardness grows with gap variance;
+/// FMCD conflict degree grows with dense same-scale clusters.
+struct GapRecipe {
+  double pareto_alpha = 0.0;   ///< >0: Pareto-tailed gaps (PLA-hard)
+  std::uint64_t pareto_scale = 1;
+  std::uint64_t pareto_cap = static_cast<std::uint64_t>(1e15);  ///< tail truncation
+  /// Regime switching: the local gap scale persists for stretches of keys,
+  /// so the CDF slope keeps changing -- the strongest driver of optimal-PLA
+  /// segment counts.
+  double regime_switch_prob = 0.0;
+  std::uint32_t regime_bits_lo = 0;
+  std::uint32_t regime_bits_hi = 0;
+  std::uint64_t uniform_lo = 1;  ///< base uniform gap range
+  std::uint64_t uniform_hi = 100;
+  double cluster_prob = 0.0;   ///< probability of entering a dense cluster
+  std::uint64_t cluster_len = 0;   ///< keys per cluster
+  std::uint64_t cluster_gap = 1;   ///< tiny gap inside clusters
+  double jump_prob = 0.0;      ///< probability of a large jump
+  std::uint64_t jump_scale = 0;    ///< jump magnitude (uniform in [1, scale])
+};
+
+std::vector<Key> GenerateGapKeys(const GapRecipe& recipe, std::size_t n,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key current = 1 + rng.NextBounded(1000);
+  std::uint64_t in_cluster = 0;
+  std::uint64_t regime_scale =
+      recipe.regime_bits_hi > 0 ? (1ULL << recipe.regime_bits_lo) : 0;
+  while (keys.size() < n) {
+    std::uint64_t gap;
+    if (regime_scale > 0 && rng.NextDouble() < recipe.regime_switch_prob) {
+      regime_scale = 1ULL << (recipe.regime_bits_lo +
+                              rng.NextBounded(recipe.regime_bits_hi -
+                                              recipe.regime_bits_lo + 1));
+    }
+    if (in_cluster > 0) {
+      --in_cluster;
+      gap = 1 + rng.NextBounded(recipe.cluster_gap);
+    } else if (recipe.cluster_prob > 0.0 && rng.NextDouble() < recipe.cluster_prob) {
+      in_cluster = recipe.cluster_len;
+      gap = 1 + rng.NextBounded(recipe.cluster_gap);
+    } else if (recipe.jump_prob > 0.0 && rng.NextDouble() < recipe.jump_prob) {
+      gap = 1 + rng.NextBounded(recipe.jump_scale);
+    } else if (regime_scale > 0) {
+      gap = 1 + rng.NextBounded(regime_scale);
+    } else if (recipe.pareto_alpha > 0.0) {
+      // Pareto via inverse CDF; heavy tail = wildly varying local slope.
+      const double u = rng.NextDouble();
+      const double p = static_cast<double>(recipe.pareto_scale) /
+                       std::pow(1.0 - u, 1.0 / recipe.pareto_alpha);
+      gap = p >= static_cast<double>(recipe.pareto_cap)
+                ? recipe.pareto_cap
+                : static_cast<std::uint64_t>(p) + 1;
+    } else {
+      gap = recipe.uniform_lo +
+            rng.NextBounded(recipe.uniform_hi - recipe.uniform_lo + 1);
+    }
+    current += gap;
+    keys.push_back(current);
+  }
+  return keys;
+}
+
+std::vector<Key> GenerateUniform(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  while (keys.size() < n) keys.insert(1 + rng.NextBounded((1ULL << 62) - 1));
+  return {keys.begin(), keys.end()};
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "ycsb", "fb", "osm", "covid", "history", "genome",
+      "libio", "planet", "stack", "wise", "osm800"};
+  return *names;
+}
+
+const std::vector<std::string>& RepresentativeDatasetNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"fb", "osm", "ycsb"};
+  return *names;
+}
+
+std::vector<Key> MakeDataset(const std::string& name, std::size_t n, std::uint64_t seed) {
+  if (name == "ycsb") {
+    // YCSB: uniform random keys -- the easiest dataset on both metrics.
+    return GenerateUniform(n, seed);
+  }
+  GapRecipe recipe;
+  if (name == "fb") {
+    // Facebook user ids: the local density keeps changing (regime-switching
+    // gap scale), which defeats piecewise-linear models -- hardest for PLA.
+    recipe.regime_switch_prob = 0.025;
+    recipe.regime_bits_lo = 1;
+    recipe.regime_bits_hi = 30;
+  } else if (name == "osm" || name == "osm800") {
+    // OpenStreetMap cell ids: long dense clusters with very large jumps;
+    // worst FMCD conflict degree, hard (but second to fb) for PLA.
+    recipe.cluster_prob = 0.009;
+    recipe.cluster_len = 400;
+    recipe.cluster_gap = 1;
+    recipe.jump_prob = 0.006;
+    recipe.jump_scale = 1ULL << 42;
+    recipe.uniform_lo = 1;
+    recipe.uniform_hi = 1u << 9;
+  } else if (name == "covid") {
+    // Tweet-id style timestamps: bursts plus moderate jumps.
+    recipe.cluster_prob = 0.004;
+    recipe.cluster_len = 60;
+    recipe.cluster_gap = 8;
+    recipe.uniform_lo = 1u << 6;
+    recipe.uniform_hi = 1u << 14;
+  } else if (name == "history") {
+    recipe.cluster_prob = 0.003;
+    recipe.cluster_len = 80;
+    recipe.cluster_gap = 16;
+    recipe.uniform_lo = 1u << 5;
+    recipe.uniform_hi = 1u << 15;
+    recipe.jump_prob = 0.0005;
+    recipe.jump_scale = 1ULL << 26;
+  } else if (name == "genome") {
+    // Loci positions: dense fine-grained noise that smooths at larger eps.
+    recipe.uniform_lo = 1;
+    recipe.uniform_hi = 1u << 8;
+    recipe.jump_prob = 0.002;
+    recipe.jump_scale = 1ULL << 24;
+  } else if (name == "libio") {
+    recipe.uniform_lo = 1u << 4;
+    recipe.uniform_hi = 1u << 13;
+    recipe.jump_prob = 0.001;
+    recipe.jump_scale = 1ULL << 30;
+  } else if (name == "planet") {
+    recipe.cluster_prob = 0.008;
+    recipe.cluster_len = 100;
+    recipe.cluster_gap = 4;
+    recipe.uniform_lo = 1u << 4;
+    recipe.uniform_hi = 1u << 14;
+    recipe.jump_prob = 0.002;
+    recipe.jump_scale = 1ULL << 32;
+  } else if (name == "stack") {
+    // Stack Overflow ids: near-sequential, second-easiest.
+    recipe.uniform_lo = 1;
+    recipe.uniform_hi = 1u << 5;
+  } else if (name == "wise") {
+    recipe.uniform_lo = 1u << 3;
+    recipe.uniform_hi = 1u << 12;
+    recipe.jump_prob = 0.0008;
+    recipe.jump_scale = 1ULL << 28;
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+    std::abort();
+  }
+  return GenerateGapKeys(recipe, n, seed);
+}
+
+std::vector<Record> MakeDatasetRecords(const std::string& name, std::size_t n,
+                                       std::uint64_t seed) {
+  const auto keys = MakeDataset(name, n, seed);
+  std::vector<Record> records(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    records[i] = Record{keys[i], PayloadFor(keys[i])};
+  }
+  return records;
+}
+
+}  // namespace liod

@@ -1,0 +1,38 @@
+#ifndef LIOD_WORKLOAD_DATASETS_H_
+#define LIOD_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace liod {
+
+/// Synthetic stand-ins for the paper's eleven SOSD-style datasets
+/// (Section 5.1). The real datasets are profiled in the paper only through
+/// (a) optimal-PLA segment counts per error bound and (b) FMCD conflict
+/// degree (Table 3); these generators are tuned so the *relative hardness
+/// ordering* on both metrics matches: ycsb easiest on both, fb hardest to
+/// segment (heavy-tailed gaps), osm the worst conflict degree (dense
+/// clusters + jumps). See DESIGN.md "Substitutions".
+///
+/// Names: "ycsb", "fb", "osm", "covid", "history", "genome", "libio",
+/// "planet", "stack", "wise", "osm800" (the 4x-scale variant).
+const std::vector<std::string>& AllDatasetNames();
+
+/// The three representative datasets the paper reports in the main body.
+const std::vector<std::string>& RepresentativeDatasetNames();
+
+/// `n` sorted unique uint64 keys for the named dataset. Deterministic in
+/// (name, n, seed). Aborts on an unknown name.
+std::vector<Key> MakeDataset(const std::string& name, std::size_t n,
+                             std::uint64_t seed = 42);
+
+/// Convenience: records with payload = key + 1 (the paper's convention).
+std::vector<Record> MakeDatasetRecords(const std::string& name, std::size_t n,
+                                       std::uint64_t seed = 42);
+
+}  // namespace liod
+
+#endif  // LIOD_WORKLOAD_DATASETS_H_

@@ -1,0 +1,104 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace liod {
+
+namespace {
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
+      .count();
+}
+}  // namespace
+
+double RunResult::SampleLatencyUs(const OpSample& s, const DiskModel& model) {
+  return s.cpu_us + s.reads * model.read_latency_us + s.writes * model.write_latency_us;
+}
+
+double RunResult::LatencyPercentileUs(double q, const DiskModel& model) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> latencies(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    latencies[i] = SampleLatencyUs(samples[i], model);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t idx = std::min(latencies.size() - 1,
+                                   static_cast<std::size_t>(q * latencies.size()));
+  return latencies[idx];
+}
+
+double RunResult::LatencyStdDevUs(const DiskModel& model) const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& s : samples) {
+    const double l = SampleLatencyUs(s, model);
+    sum += l;
+    sum_sq += l * l;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  return std::sqrt(var);
+}
+
+Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfig& config,
+                   RunResult* result) {
+  *result = RunResult{};
+
+  // --- bulkload phase -------------------------------------------------------
+  const IoStatsSnapshot before_bulk = index->io_stats().snapshot();
+  const auto bulk_start = std::chrono::steady_clock::now();
+  LIOD_RETURN_IF_ERROR(index->Bulkload(workload.bulk));
+  result->bulkload_cpu_us = ElapsedUs(bulk_start);
+  result->bulkload_io = index->io_stats().snapshot() - before_bulk;
+  if (config.drop_caches_after_bulkload) index->DropCaches();
+
+  // --- measured op phase -----------------------------------------------------
+  if (config.record_samples) result->samples.reserve(workload.ops.size());
+  const IoStatsSnapshot before_ops = index->io_stats().snapshot();
+  const auto ops_start = std::chrono::steady_clock::now();
+  std::vector<Record> scan_out;
+  IoStatsSnapshot op_before;
+  for (const WorkloadOp& op : workload.ops) {
+    std::chrono::steady_clock::time_point op_start;
+    if (config.record_samples) {
+      op_before = index->io_stats().snapshot();
+      op_start = std::chrono::steady_clock::now();
+    }
+    switch (op.kind) {
+      case WorkloadOp::Kind::kLookup: {
+        Payload payload = 0;
+        bool found = false;
+        LIOD_RETURN_IF_ERROR(index->Lookup(op.key, &payload, &found));
+        if (config.check_lookups && !found) {
+          return Status::Corruption("workload lookup missed key " + std::to_string(op.key));
+        }
+        break;
+      }
+      case WorkloadOp::Kind::kInsert:
+        LIOD_RETURN_IF_ERROR(index->Insert(op.key, op.payload));
+        break;
+      case WorkloadOp::Kind::kScan:
+        LIOD_RETURN_IF_ERROR(index->Scan(op.key, workload.scan_length, &scan_out));
+        break;
+    }
+    if (config.record_samples) {
+      const IoStatsSnapshot delta = index->io_stats().snapshot() - op_before;
+      OpSample sample;
+      sample.cpu_us = static_cast<float>(ElapsedUs(op_start));
+      sample.reads = static_cast<std::uint32_t>(delta.TotalReads());
+      sample.writes = static_cast<std::uint32_t>(delta.TotalWrites());
+      result->samples.push_back(sample);
+    }
+  }
+  result->cpu_us = ElapsedUs(ops_start);
+  result->io = index->io_stats().snapshot() - before_ops;
+  result->operations = workload.ops.size();
+  result->stats_after = index->GetIndexStats();
+  return Status::Ok();
+}
+
+}  // namespace liod

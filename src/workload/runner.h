@@ -1,0 +1,65 @@
+#ifndef LIOD_WORKLOAD_RUNNER_H_
+#define LIOD_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "storage/disk_model.h"
+#include "workload/workloads.h"
+
+namespace liod {
+
+/// Per-operation measurement: CPU time plus the exact block I/O, so modeled
+/// latency can be computed for any disk model after the fact.
+struct OpSample {
+  float cpu_us;
+  std::uint32_t reads;
+  std::uint32_t writes;
+};
+
+/// Result of executing one workload against one index.
+struct RunResult {
+  std::uint64_t operations = 0;
+  double cpu_us = 0.0;          ///< measured CPU time of the op phase
+  double bulkload_cpu_us = 0.0;
+  IoStatsSnapshot io;           ///< op-phase I/O
+  IoStatsSnapshot bulkload_io;
+  IndexStats stats_after;       ///< index stats at the end
+  std::vector<OpSample> samples;  ///< per-op, when requested
+
+  double ThroughputOps(const DiskModel& model) const {
+    return model.ThroughputOps(operations, cpu_us, io);
+  }
+  double AvgBlocksReadPerOp() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(io.TotalReads()) /
+                                 static_cast<double>(operations);
+  }
+  double AvgBlocksPerOp() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(io.TotalIo()) /
+                                 static_cast<double>(operations);
+  }
+
+  /// Modeled latency of one sample under `model`, in microseconds.
+  static double SampleLatencyUs(const OpSample& s, const DiskModel& model);
+  /// p-quantile (e.g. 0.99) of modeled per-op latency. Requires samples.
+  double LatencyPercentileUs(double q, const DiskModel& model) const;
+  double LatencyStdDevUs(const DiskModel& model) const;
+};
+
+struct RunnerConfig {
+  bool record_samples = false;  ///< keep per-op samples (tail-latency study)
+  bool drop_caches_after_bulkload = true;
+  bool check_lookups = false;  ///< verify lookups of inserted keys succeed
+};
+
+/// Bulkloads `workload.bulk` into the index, then executes the op tape.
+Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfig& config,
+                   RunResult* result);
+
+}  // namespace liod
+
+#endif  // LIOD_WORKLOAD_RUNNER_H_

@@ -1,0 +1,114 @@
+#include "workload/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+
+namespace liod {
+
+const char* WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kLookupOnly: return "lookup-only";
+    case WorkloadType::kScanOnly: return "scan-only";
+    case WorkloadType::kWriteOnly: return "write-only";
+    case WorkloadType::kReadHeavy: return "read-heavy";
+    case WorkloadType::kWriteHeavy: return "write-heavy";
+    case WorkloadType::kBalanced: return "balanced";
+  }
+  return "unknown";
+}
+
+const std::vector<WorkloadType>& AllWorkloadTypes() {
+  static const std::vector<WorkloadType>* types = new std::vector<WorkloadType>{
+      WorkloadType::kLookupOnly,  WorkloadType::kScanOnly, WorkloadType::kWriteOnly,
+      WorkloadType::kReadHeavy, WorkloadType::kWriteHeavy, WorkloadType::kBalanced};
+  return *types;
+}
+
+namespace {
+
+/// Mixed-workload interleaving patterns (Section 5.2): (inserts, lookups)
+/// per round.
+void PatternFor(WorkloadType type, std::size_t* inserts, std::size_t* lookups) {
+  switch (type) {
+    case WorkloadType::kReadHeavy: *inserts = 2; *lookups = 18; return;
+    case WorkloadType::kWriteHeavy: *inserts = 18; *lookups = 2; return;
+    case WorkloadType::kBalanced: *inserts = 10; *lookups = 10; return;
+    default: *inserts = 0; *lookups = 0; return;
+  }
+}
+
+}  // namespace
+
+Workload BuildWorkload(const std::vector<Key>& dataset_keys, const WorkloadSpec& spec) {
+  Workload w;
+  w.scan_length = spec.scan_length;
+  Rng rng(spec.seed);
+
+  if (spec.type == WorkloadType::kLookupOnly || spec.type == WorkloadType::kScanOnly) {
+    // Bulkload the whole dataset; sample existing keys.
+    w.bulk.reserve(dataset_keys.size());
+    for (Key k : dataset_keys) w.bulk.push_back(Record{k, PayloadFor(k)});
+    w.ops.reserve(spec.operations);
+    for (std::size_t i = 0; i < spec.operations; ++i) {
+      const Key k = dataset_keys[rng.NextBounded(dataset_keys.size())];
+      w.ops.push_back(WorkloadOp{spec.type == WorkloadType::kLookupOnly
+                                     ? WorkloadOp::Kind::kLookup
+                                     : WorkloadOp::Kind::kScan,
+                                 k, 0});
+    }
+    return w;
+  }
+
+  // Write-containing workloads: bulkload a random sample of `bulk_keys`,
+  // insert the remaining dataset keys in random order.
+  const std::size_t bulk_count = std::min(spec.bulk_keys, dataset_keys.size());
+  std::vector<std::uint32_t> order(dataset_keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::uint32_t>(i);
+  Shuffle(order, rng);
+
+  std::vector<Key> bulk_keys(bulk_count);
+  for (std::size_t i = 0; i < bulk_count; ++i) bulk_keys[i] = dataset_keys[order[i]];
+  std::sort(bulk_keys.begin(), bulk_keys.end());
+  w.bulk.reserve(bulk_count);
+  for (Key k : bulk_keys) w.bulk.push_back(Record{k, PayloadFor(k)});
+
+  std::vector<Key> insert_pool;
+  insert_pool.reserve(dataset_keys.size() - bulk_count);
+  for (std::size_t i = bulk_count; i < order.size(); ++i) {
+    insert_pool.push_back(dataset_keys[order[i]]);
+  }
+
+  // `live` tracks keys available for lookups (bulk + inserted so far).
+  std::vector<Key> live = bulk_keys;
+  std::size_t per_round_inserts = 0, per_round_lookups = 0;
+  PatternFor(spec.type, &per_round_inserts, &per_round_lookups);
+  if (spec.type == WorkloadType::kWriteOnly) {
+    per_round_inserts = 1;
+    per_round_lookups = 0;
+  }
+
+  std::size_t pool_next = 0;
+  w.ops.reserve(spec.operations);
+  while (w.ops.size() < spec.operations) {
+    for (std::size_t i = 0; i < per_round_inserts && w.ops.size() < spec.operations; ++i) {
+      if (pool_next >= insert_pool.size()) {
+        // Pool exhausted: synthesize fresh keys beyond the dataset range.
+        const Key k = dataset_keys.back() + 1 + rng.NextBounded(1u << 16) +
+                      static_cast<Key>(pool_next) * 37;
+        insert_pool.push_back(k);
+      }
+      const Key k = insert_pool[pool_next++];
+      w.ops.push_back(WorkloadOp{WorkloadOp::Kind::kInsert, k, PayloadFor(k)});
+      live.push_back(k);
+    }
+    for (std::size_t i = 0; i < per_round_lookups && w.ops.size() < spec.operations; ++i) {
+      const Key k = live[rng.NextBounded(live.size())];
+      w.ops.push_back(WorkloadOp{WorkloadOp::Kind::kLookup, k, 0});
+    }
+  }
+  return w;
+}
+
+}  // namespace liod

@@ -1,0 +1,59 @@
+#ifndef LIOD_WORKLOAD_WORKLOADS_H_
+#define LIOD_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace liod {
+
+/// The six workload types of Section 5.2.
+enum class WorkloadType {
+  kLookupOnly,  ///< bulkload all keys; point lookups on existing keys
+  kScanOnly,    ///< bulkload all keys; 100-element scans from existing keys
+  kWriteOnly,   ///< bulkload a prefix sample; insert the rest
+  kReadHeavy,   ///< 90% lookups / 10% inserts, pattern (2 ins, 18 lookups)
+  kWriteHeavy,  ///< 10% lookups / 90% inserts, pattern (18 ins, 2 lookups)
+  kBalanced,    ///< 50/50, pattern (10 ins, 10 lookups)
+};
+
+const char* WorkloadTypeName(WorkloadType type);
+const std::vector<WorkloadType>& AllWorkloadTypes();
+
+struct WorkloadSpec {
+  WorkloadType type = WorkloadType::kLookupOnly;
+  /// Keys bulkloaded before the measured phase. For Lookup/Scan-Only this is
+  /// the full dataset (paper: 200M); for write workloads the random sample
+  /// loaded first (paper: 10M).
+  std::size_t bulk_keys = 1'000'000;
+  /// Measured operations (paper: 200K searches / 10M writes).
+  std::size_t operations = 100'000;
+  std::size_t scan_length = 100;  ///< paper: lookup + scan of next 99
+  std::uint64_t seed = 7;
+};
+
+struct WorkloadOp {
+  enum class Kind : std::uint8_t { kLookup, kInsert, kScan };
+  Kind kind;
+  Key key;
+  Payload payload;  // for inserts
+};
+
+/// A fully materialized workload: the bulkload set plus the operation tape.
+struct Workload {
+  std::vector<Record> bulk;  // sorted, unique
+  std::vector<WorkloadOp> ops;
+  std::size_t scan_length = 100;
+};
+
+/// Materializes a workload over the given dataset keys (sorted, unique),
+/// following Section 5.2: write workloads bulkload a uniform sample and
+/// insert the remaining keys in random order; mixed workloads interleave in
+/// the paper's exact patterns; lookups draw uniformly from live keys.
+Workload BuildWorkload(const std::vector<Key>& dataset_keys, const WorkloadSpec& spec);
+
+}  // namespace liod
+
+#endif  // LIOD_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,306 @@
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alex/alex_index.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ClusteredKeys;
+using testing_util::HeavyTailKeys;
+using testing_util::SequentialKeys;
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+IndexOptions AlexOpts(std::uint32_t max_slots = 4096,
+                      AlexLayout layout = AlexLayout::kSplitFiles) {
+  IndexOptions o;
+  o.alex_max_data_node_slots = max_slots;  // small nodes => frequent SMOs
+  o.alex_layout = layout;
+  return o;
+}
+
+TEST(AlexGeometry, CapacityFillsRun) {
+  const auto g = ComputeDataGeometry(100, 4096);
+  EXPECT_GE(g.capacity, 100u);
+  // The run's last block is consumed by slots (no dead tail).
+  const std::uint64_t used = g.slot_region_off + g.capacity * 16ull;
+  EXPECT_GT(used, (g.run_blocks - 1) * 4096ull);
+  EXPECT_LE(used, g.run_blocks * 4096ull);
+}
+
+TEST(Alex, BulkloadAndLookupAll) {
+  const auto keys = UniformKeys(20000, 1);
+  AlexIndex index(AlexOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  for (std::size_t i = 0; i < keys.size(); i += 41) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(keys[i], &p, &found).ok());
+    ASSERT_TRUE(found) << "key " << keys[i] << " i=" << i;
+    EXPECT_EQ(p, PayloadFor(keys[i]));
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  EXPECT_GT(index.height(), 1u);
+}
+
+TEST(Alex, LookupMissing) {
+  const auto keys = UniformKeys(5000, 2);
+  AlexIndex index(AlexOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::set<Key> present(keys.begin(), keys.end());
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Key probe = 1 + rng.NextBounded(1ULL << 62);
+    if (present.count(probe)) continue;
+    Payload p;
+    bool found = true;
+    ASSERT_TRUE(index.Lookup(probe, &p, &found).ok());
+    EXPECT_FALSE(found);
+  }
+}
+
+TEST(Alex, InsertIntoGaps) {
+  const auto keys = SequentialKeys(2000, 1000, 10);
+  AlexIndex index(AlexOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // Keys that land between existing ones (gapped array absorbs them).
+  for (int i = 0; i < 500; ++i) {
+    const Key k = keys[i * 3] + 5;
+    ASSERT_TRUE(index.Insert(k, k).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    const Key k = keys[i * 3] + 5;
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+    ASSERT_TRUE(found) << k;
+    EXPECT_EQ(p, k);
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Alex, InsertTriggersSmo) {
+  const auto keys = UniformKeys(3000, 4);
+  AlexIndex index(AlexOpts(512));  // tiny nodes
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(index.Insert(1 + rng.NextBounded(1ULL << 61), 9).ok());
+  }
+  EXPECT_GT(index.smo_count(), 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Alex, AppendsBeyondMaxKey) {
+  AlexIndex index(AlexOpts(512));
+  const auto keys = SequentialKeys(1000, 1000, 2);
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // Monotonically increasing appends exercise the trailing-sentinel path.
+  Key k = keys.back();
+  for (int i = 0; i < 2000; ++i) {
+    k += 2;
+    ASSERT_TRUE(index.Insert(k, k).ok());
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST(Alex, InsertBelowMinimum) {
+  AlexIndex index(AlexOpts(512));
+  const auto keys = SequentialKeys(1000, 100000, 2);
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  for (Key k = 500; k >= 1; --k) {
+    ASSERT_TRUE(index.Insert(k, k * 2).ok());
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(1, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 2u);
+}
+
+TEST(Alex, UpsertKeepsCount) {
+  const auto keys = UniformKeys(1000, 6);
+  AlexIndex index(AlexOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_TRUE(index.Insert(keys[500], 4242).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(keys[500], &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 4242u);
+  EXPECT_EQ(index.GetIndexStats().num_records, keys.size());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Alex, ScanAcrossDataNodes) {
+  const auto keys = UniformKeys(20000, 7);
+  AlexIndex index(AlexOpts(1024));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_GT(index.data_node_count(), 4u);
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[5000], 1000, &out).ok());
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].key, keys[5000 + i]);
+  }
+}
+
+TEST(Alex, ScanSkipsGapMirrors) {
+  // Mirrors duplicate keys in the slot array; the bitmap must filter them.
+  const auto keys = SequentialKeys(500, 10, 100);
+  AlexIndex index(AlexOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(0, 500, &out).ok());
+  ASSERT_EQ(out.size(), 500u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_GT(out[i].key, out[i - 1].key) << "duplicate from a gap mirror";
+  }
+}
+
+TEST(Alex, LookupIoMatchesPaperShape) {
+  // Table 4: ALEX reads at least 2 blocks per lookup (header + slot),
+  // more when exponential search crosses blocks.
+  const auto keys = UniformKeys(50000, 8);
+  AlexIndex index(AlexOpts(1 << 14));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  index.DropCaches();
+  index.io_stats().Reset();
+  Rng rng(9);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    Payload p;
+    bool found;
+    ASSERT_TRUE(index.Lookup(keys[rng.NextBounded(keys.size())], &p, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  const auto io = index.io_stats().snapshot();
+  const double leaf_per_op = static_cast<double>(io.ReadsFor(FileClass::kLeaf)) / n;
+  // Header block + slot block, except when the predicted slot shares the
+  // header's block (small nodes).
+  EXPECT_GE(leaf_per_op, 1.8);
+  EXPECT_LE(leaf_per_op, 4.0);
+  EXPECT_EQ(io.TotalWrites(), 0u);  // read-only queries skip stats writes
+}
+
+TEST(Alex, Layout1SharesOneFile) {
+  const auto keys = UniformKeys(10000, 10);
+  AlexIndex index(AlexOpts(2048, AlexLayout::kSingleFile));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  for (std::size_t i = 0; i < keys.size(); i += 101) {
+    Payload p;
+    bool found;
+    ASSERT_TRUE(index.Lookup(keys[i], &p, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  const auto stats = index.GetIndexStats();
+  EXPECT_EQ(stats.inner_bytes, 0u);  // everything accounted to the one file
+  EXPECT_GT(stats.leaf_bytes, 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+class AlexPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int /*dist*/, std::uint32_t /*slots*/>> {};
+
+TEST_P(AlexPropertyTest, MatchesReferenceModel) {
+  const auto [dist, max_slots] = GetParam();
+  std::vector<Key> initial;
+  switch (dist) {
+    case 0: initial = UniformKeys(2000, 90 + dist); break;
+    case 1: initial = ClusteredKeys(2000, 90 + dist); break;
+    default: initial = HeavyTailKeys(2000, 90 + dist); break;
+  }
+  AlexIndex index(AlexOpts(max_slots));
+  ASSERT_TRUE(index.Bulkload(ToRecords(initial)).ok());
+  std::map<Key, Payload> reference;
+  for (Key k : initial) reference[k] = PayloadFor(k);
+
+  Rng rng(2000 + dist);
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t dice = rng.NextBounded(100);
+    const Key key = 1 + rng.NextBounded(1ULL << 50);
+    if (dice < 55) {
+      ASSERT_TRUE(index.Insert(key, key ^ 0xABCD).ok()) << "op=" << op;
+      reference[key] = key ^ 0xABCD;
+    } else if (dice < 85) {
+      Payload p = 0;
+      bool found = false;
+      ASSERT_TRUE(index.Lookup(key, &p, &found).ok());
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << "key=" << key << " op=" << op;
+      if (found) {
+        ASSERT_EQ(p, it->second);
+      }
+    } else {
+      std::vector<Record> out;
+      ASSERT_TRUE(index.Scan(key, 25, &out).ok());
+      auto it = reference.lower_bound(key);
+      for (const auto& r : out) {
+        ASSERT_NE(it, reference.end()) << "op=" << op;
+        ASSERT_EQ(r.key, it->first) << "op=" << op;
+        ASSERT_EQ(r.payload, it->second);
+        ++it;
+      }
+      if (out.size() < 25) {
+        ASSERT_EQ(it, reference.end());
+      }
+    }
+  }
+  EXPECT_EQ(index.GetIndexStats().num_records, reference.size());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+std::string AlexParamName(
+    const ::testing::TestParamInfo<AlexPropertyTest::ParamType>& param) {
+  static const char* kDistNames[] = {"uniform", "clustered", "heavytail"};
+  return std::string(kDistNames[std::get<0>(param.param)]) + "_slots" +
+         std::to_string(std::get<1>(param.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlexPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(256u, 1024u, 8192u)),
+                         AlexParamName);
+
+TEST(Alex, StorageGrowsWithSmos) {
+  // O11/O16: SMOs allocate fresh runs; invalid space accumulates.
+  const auto keys = UniformKeys(5000, 11);
+  AlexIndex index(AlexOpts(512));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const auto before = index.GetIndexStats();
+  Rng rng(12);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(index.Insert(1 + rng.NextBounded(1ULL << 61), 9).ok());
+  }
+  const auto after = index.GetIndexStats();
+  EXPECT_GT(after.disk_bytes, before.disk_bytes);
+  EXPECT_GT(after.freed_bytes, 0u);
+}
+
+TEST(Alex, EmptyBulkloadThenGrow) {
+  AlexIndex index(AlexOpts(512));
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  for (Key k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 7, k).ok()) << k;
+  }
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(7 * 999, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 999u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace liod

@@ -1,0 +1,322 @@
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/btree_index.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+IndexOptions SmallOptions(std::size_t block_size = 1024) {
+  IndexOptions options;
+  options.block_size = block_size;  // small blocks force multi-level trees
+  return options;
+}
+
+TEST(BTree, EmptyBulkloadLookup) {
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  Payload p = 0;
+  bool found = true;
+  ASSERT_TRUE(index.Lookup(42, &p, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST(BTree, BulkloadAndLookupAll) {
+  const auto keys = UniformKeys(5000);
+  const auto records = ToRecords(keys);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(records).ok());
+  for (const auto& r : records) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(r.key, &p, &found).ok());
+    ASSERT_TRUE(found) << r.key;
+    EXPECT_EQ(p, r.payload);
+  }
+}
+
+TEST(BTree, LookupMissingKeys) {
+  const auto keys = UniformKeys(1000, 3);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Rng rng(17);
+  std::set<Key> present(keys.begin(), keys.end());
+  for (int i = 0; i < 200; ++i) {
+    Key probe = rng.Next();
+    if (present.count(probe)) continue;
+    Payload p;
+    bool found = true;
+    ASSERT_TRUE(index.Lookup(probe, &p, &found).ok());
+    EXPECT_FALSE(found);
+  }
+}
+
+TEST(BTree, BulkloadIsMultiLevel) {
+  const auto keys = UniformKeys(20000);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  EXPECT_GE(index.tree().height(), 3u);
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+}
+
+TEST(BTree, LeafFillFactorMatchesPaperProfile) {
+  // Paper Table 3: 200M keys / 4KB blocks -> 980,393 leaves, i.e. ~204
+  // records per leaf = 0.8 * 255 capacity. Check the same density here.
+  IndexOptions options;  // 4 KB
+  const auto keys = UniformKeys(100000);
+  BTreeIndex index(options);
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const double per_leaf =
+      static_cast<double>(keys.size()) / static_cast<double>(index.tree().leaf_count());
+  EXPECT_NEAR(per_leaf, 204.0, 1.0);
+}
+
+TEST(BTree, InsertIntoEmpty) {
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  ASSERT_TRUE(index.Insert(5, 50).ok());
+  ASSERT_TRUE(index.Insert(3, 30).ok());
+  ASSERT_TRUE(index.Insert(9, 90).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(3, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 30u);
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+}
+
+TEST(BTree, UpsertUpdatesPayload) {
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(UniformKeys(100))).ok());
+  const Key k = UniformKeys(100)[50];
+  ASSERT_TRUE(index.Insert(k, 777).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 777u);
+  EXPECT_EQ(index.tree().num_records(), 100u);  // no duplicate added
+}
+
+TEST(BTree, InsertBelowGlobalMinimum) {
+  const auto keys = UniformKeys(5000, 5);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_TRUE(index.Insert(1, 10).ok());  // below every bulkloaded key
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(1, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+}
+
+TEST(BTree, ScanReturnsSortedRange) {
+  const auto keys = UniformKeys(3000, 11);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[1000], 100, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i].key, keys[1000 + i]);
+  }
+}
+
+TEST(BTree, ScanFromNonexistentStartKey) {
+  const auto keys = UniformKeys(1000, 13);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // Start key between keys[10] and keys[11].
+  const Key start = keys[10] + 1;
+  ASSERT_NE(start, keys[11]);
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(start, 5, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].key, keys[11]);
+}
+
+TEST(BTree, ScanPastEndTruncates) {
+  const auto keys = UniformKeys(100, 19);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[95], 100, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BTree, EraseRemovesKey) {
+  const auto keys = UniformKeys(2000, 23);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  bool erased = false;
+  ASSERT_TRUE(index.tree().Erase(keys[100], &erased).ok());
+  EXPECT_TRUE(erased);
+  Payload p;
+  bool found = true;
+  ASSERT_TRUE(index.Lookup(keys[100], &p, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(index.tree().Erase(keys[100], &erased).ok());
+  EXPECT_FALSE(erased);  // already gone
+}
+
+TEST(BTree, LookupFloor) {
+  BTreeIndex index(SmallOptions());
+  std::vector<Record> records{{10, 1}, {20, 2}, {30, 3}};
+  ASSERT_TRUE(index.Bulkload(records).ok());
+  Record out;
+  bool found;
+  ASSERT_TRUE(index.tree().LookupFloor(25, &out, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(out.key, 20u);
+  ASSERT_TRUE(index.tree().LookupFloor(10, &out, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(out.key, 10u);
+  ASSERT_TRUE(index.tree().LookupFloor(5, &out, &found).ok());
+  EXPECT_FALSE(found);  // below the minimum
+  ASSERT_TRUE(index.tree().LookupFloor(kMaxKey, &out, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(out.key, 30u);
+}
+
+TEST(BTree, LookupCostsLogBlocks) {
+  // Table 2: B+-tree lookup fetches log_B(N) blocks: height of the tree.
+  const auto keys = UniformKeys(20000, 29);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const auto height = index.tree().height();
+  index.DropCaches();
+  index.io_stats().Reset();
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(keys[777], &p, &found).ok());
+  EXPECT_EQ(index.io_stats().snapshot().TotalReads(), height);
+}
+
+TEST(BTree, ScanIoIsLeafLinear) {
+  // Table 2: scan cost = log_B(N) + z/B blocks.
+  const auto keys = UniformKeys(20000, 31);
+  BTreeIndex index(SmallOptions());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const std::uint64_t height = index.tree().height();
+  const std::size_t per_leaf = static_cast<std::size_t>(
+      0.8 * static_cast<double>(index.tree().leaf_capacity()));
+  index.DropCaches();
+  index.io_stats().Reset();
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[100], 100, &out).ok());
+  const std::uint64_t max_leaves = 100 / per_leaf + 2;
+  EXPECT_LE(index.io_stats().snapshot().TotalReads(), height + max_leaves);
+}
+
+// Property test: random interleavings of insert/lookup/erase/scan agree with
+// std::map across block sizes and scales.
+class BTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t /*block*/, int /*ops*/>> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  const auto [block_size, num_ops] = GetParam();
+  BTreeIndex index(SmallOptions(block_size));
+  const auto initial = UniformKeys(500, 101);
+  ASSERT_TRUE(index.Bulkload(ToRecords(initial)).ok());
+  std::map<Key, Payload> reference;
+  for (Key k : initial) reference[k] = PayloadFor(k);
+
+  Rng rng(4242);
+  for (int op = 0; op < num_ops; ++op) {
+    const std::uint64_t dice = rng.NextBounded(100);
+    const Key key = 1 + rng.NextBounded(1ULL << 48);
+    if (dice < 50) {
+      ASSERT_TRUE(index.Insert(key, key * 2).ok());
+      reference[key] = key * 2;
+    } else if (dice < 80) {
+      Payload p = 0;
+      bool found = false;
+      ASSERT_TRUE(index.Lookup(key, &p, &found).ok());
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << "key=" << key;
+      if (found) {
+        ASSERT_EQ(p, it->second);
+      }
+    } else if (dice < 90) {
+      bool erased = false;
+      ASSERT_TRUE(index.tree().Erase(key, &erased).ok());
+      ASSERT_EQ(erased, reference.erase(key) > 0);
+    } else {
+      std::vector<Record> out;
+      ASSERT_TRUE(index.Scan(key, 20, &out).ok());
+      auto it = reference.lower_bound(key);
+      for (const auto& r : out) {
+        ASSERT_NE(it, reference.end());
+        ASSERT_EQ(r.key, it->first);
+        ASSERT_EQ(r.payload, it->second);
+        ++it;
+      }
+      // Short result => reference exhausted too.
+      if (out.size() < 20) {
+        ASSERT_EQ(it, reference.end());
+      }
+    }
+  }
+  EXPECT_EQ(index.tree().num_records(), reference.size());
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+}
+
+std::string BTreeParamName(
+    const ::testing::TestParamInfo<BTreePropertyTest::ParamType>& param) {
+  return "bs" + std::to_string(std::get<0>(param.param)) + "_ops" +
+         std::to_string(std::get<1>(param.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BTreePropertyTest,
+                         ::testing::Combine(::testing::Values(512u, 1024u, 4096u),
+                                            ::testing::Values(500, 2000)),
+                         BTreeParamName);
+
+TEST(BTree, SequentialInsertGrowsTree) {
+  BTreeIndex index(SmallOptions(512));
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  for (Key k = 1; k <= 3000; ++k) {
+    ASSERT_TRUE(index.Insert(k, k).ok());
+  }
+  EXPECT_EQ(index.tree().num_records(), 3000u);
+  EXPECT_GE(index.tree().height(), 3u);
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+}
+
+TEST(BTree, ReverseSequentialInsert) {
+  BTreeIndex index(SmallOptions(512));
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  for (Key k = 3000; k >= 1; --k) {
+    ASSERT_TRUE(index.Insert(k, k).ok());
+  }
+  EXPECT_EQ(index.tree().num_records(), 3000u);
+  EXPECT_TRUE(index.tree().CheckInvariants().ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(1, 3000, &out).ok());
+  ASSERT_EQ(out.size(), 3000u);
+  for (Key k = 1; k <= 3000; ++k) EXPECT_EQ(out[k - 1].key, k);
+}
+
+TEST(BTree, StatsReportFootprint) {
+  const auto keys = UniformKeys(10000, 37);
+  BTreeIndex index(SmallOptions(1024));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const IndexStats stats = index.GetIndexStats();
+  EXPECT_EQ(stats.num_records, keys.size());
+  EXPECT_GT(stats.leaf_bytes, keys.size() * sizeof(Record));  // fill < 1.0
+  EXPECT_GT(stats.inner_bytes, 0u);
+  EXPECT_EQ(stats.disk_bytes, stats.inner_bytes + stats.leaf_bytes);
+  EXPECT_GE(stats.height, 3u);
+}
+
+}  // namespace
+}  // namespace liod

@@ -1,0 +1,130 @@
+// Failure-injection tests: Status propagation through buffer pool, paged
+// file, and the full index stacks. A failing device must surface as a
+// non-OK Status -- never a crash, hang, or silent wrong answer.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "pgm/static_pgm.h"
+#include "storage/fault_injection_device.h"
+#include "storage/paged_file.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+struct FaultyFile {
+  IoStats stats;
+  FaultInjectionDevice* device;  // owned by file
+  std::unique_ptr<PagedFile> file;
+
+  explicit FaultyFile(std::size_t block_size = 4096) {
+    auto base = std::make_unique<MemoryBlockDevice>(block_size);
+    auto injector = std::make_unique<FaultInjectionDevice>(std::move(base));
+    device = injector.get();
+    file = std::make_unique<PagedFile>(std::move(injector), &stats, FileClass::kLeaf,
+                                       PagedFileOptions{});
+  }
+};
+
+TEST(FaultInjection, PagedFileReadBytesPropagates) {
+  FaultyFile f;
+  (void)f.file->AllocateRun(4);
+  std::vector<std::byte> buf(100);
+  f.device->FailAfter(0);
+  EXPECT_EQ(f.file->ReadBytes(0, 100, buf.data()).code(), Status::Code::kIoError);
+  f.device->FailAfter(-1);
+  EXPECT_TRUE(f.file->ReadBytes(0, 100, buf.data()).ok());
+}
+
+TEST(FaultInjection, BPlusTreeBulkloadFailsCleanly) {
+  FaultyFile inner, leaf;
+  BPlusTree tree(inner.file.get(), leaf.file.get(), &leaf.stats, 0.8);
+  leaf.device->FailAfter(10);
+  const auto records = ToRecords(UniformKeys(5000, 1));
+  EXPECT_FALSE(tree.Bulkload(records).ok());
+}
+
+TEST(FaultInjection, BPlusTreeLookupSurfacesReadError) {
+  FaultyFile inner, leaf;
+  BPlusTree tree(inner.file.get(), leaf.file.get(), &leaf.stats, 0.8);
+  const auto records = ToRecords(UniformKeys(5000, 2));
+  ASSERT_TRUE(tree.Bulkload(records).ok());
+  inner.file->pool().Clear();
+  leaf.file->pool().Clear();
+  inner.device->FailAfter(0);
+  std::uint64_t value;
+  bool found;
+  EXPECT_EQ(tree.Lookup(records[100].key, &value, &found).code(), Status::Code::kIoError);
+  // Once the fault clears, the tree answers correctly (no corrupted state).
+  inner.device->FailAfter(-1);
+  ASSERT_TRUE(tree.Lookup(records[100].key, &value, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(value, records[100].payload);
+}
+
+TEST(FaultInjection, BPlusTreeInsertFailsWithoutCrash) {
+  FaultyFile inner, leaf;
+  BPlusTree tree(inner.file.get(), leaf.file.get(), &leaf.stats, 0.8);
+  const auto records = ToRecords(UniformKeys(2000, 3));
+  ASSERT_TRUE(tree.Bulkload(records).ok());
+  leaf.device->FailAfter(2);
+  Rng rng(4);
+  bool saw_failure = false;
+  for (int i = 0; i < 10 && !saw_failure; ++i) {
+    saw_failure = !tree.Insert(1 + rng.NextBounded(1ULL << 50), 1).ok();
+  }
+  EXPECT_TRUE(saw_failure);
+  leaf.device->FailAfter(-1);
+  // The tree must still satisfy lookups for the bulkloaded keys.
+  std::uint64_t value;
+  bool found;
+  ASSERT_TRUE(tree.Lookup(records[42].key, &value, &found).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultInjection, StaticPgmBuildAndLookupPropagate) {
+  FaultyFile inner, leaf;
+  StaticPgm pgm(inner.file.get(), leaf.file.get(), &leaf.stats, 64, 16);
+  const auto records = ToRecords(UniformKeys(20000, 5));
+  {
+    // Build failure.
+    FaultyFile inner2, leaf2;
+    StaticPgm pgm2(inner2.file.get(), leaf2.file.get(), &leaf2.stats, 64, 16);
+    leaf2.device->FailAfter(0);
+    EXPECT_FALSE(pgm2.Build(records).ok());
+  }
+  ASSERT_TRUE(pgm.Build(records).ok());
+  inner.file->pool().Clear();
+  leaf.file->pool().Clear();
+  inner.device->FailAfter(0);
+  Payload p;
+  bool found;
+  EXPECT_EQ(pgm.Lookup(records[777].key, &p, &found).code(), Status::Code::kIoError);
+  inner.device->FailAfter(-1);
+  ASSERT_TRUE(pgm.Lookup(records[777].key, &p, &found).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultInjection, PoisonedBlockIsDeterministic) {
+  FaultyFile f;
+  const BlockId run = f.file->AllocateRun(8);
+  std::vector<std::byte> block(4096, std::byte{1});
+  ASSERT_TRUE(f.file->WriteBlock(run, block.data()).ok());
+  f.device->FailBlock(run + 3);
+  // Reads below the poisoned block keep working; the poisoned one fails.
+  EXPECT_TRUE(f.file->ReadBlock(run, block.data()).ok());
+  EXPECT_FALSE(f.file->ReadBlock(run + 3, block.data()).ok());
+  EXPECT_FALSE(f.file->ReadBytes((run + 3) * 4096ull, 10, block.data()).ok());
+  f.device->ClearFailBlock();
+  EXPECT_TRUE(f.file->ReadBlock(run + 3, block.data()).ok());
+}
+
+}  // namespace
+}  // namespace liod

@@ -1,0 +1,298 @@
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fiting/fiting_tree_index.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ClusteredKeys;
+using testing_util::HeavyTailKeys;
+using testing_util::SequentialKeys;
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+IndexOptions Opts(std::size_t block = 4096, std::uint32_t buffer = 64) {
+  IndexOptions o;
+  o.block_size = block;
+  o.fiting_buffer_capacity = buffer;  // small buffer => frequent resegments
+  return o;
+}
+
+TEST(Fiting, BulkloadAndLookupAll) {
+  const auto keys = UniformKeys(20000, 1);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  for (std::size_t i = 0; i < keys.size(); i += 97) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(keys[i], &p, &found).ok());
+    ASSERT_TRUE(found) << "key " << keys[i];
+    EXPECT_EQ(p, PayloadFor(keys[i]));
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Fiting, SequentialDataOneSegment) {
+  const auto keys = SequentialKeys(50000);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  EXPECT_EQ(index.segment_count(), 1u);  // perfectly linear
+}
+
+TEST(Fiting, LookupMissingKey) {
+  const auto keys = UniformKeys(5000, 2);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Payload p;
+  bool found = true;
+  ASSERT_TRUE(index.Lookup(keys[100] + 1, &p, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(index.Lookup(keys.front() - 1, &p, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST(Fiting, InsertThenLookup) {
+  const auto keys = UniformKeys(5000, 3);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Rng rng(7);
+  std::vector<Key> added;
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = 1 + rng.NextBounded(1ULL << 61);
+    ASSERT_TRUE(index.Insert(k, k + 5).ok());
+    added.push_back(k);
+  }
+  for (Key k : added) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+    ASSERT_TRUE(found) << k;
+    EXPECT_EQ(p, k + 5);
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Fiting, BufferOverflowTriggersResegment) {
+  const auto keys = UniformKeys(3000, 4);
+  FitingTreeIndex index(Opts(4096, /*buffer=*/16));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Rng rng(11);
+  // Insert many keys into the same region to overflow one buffer.
+  const Key lo = keys[1500];
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(index.Insert(lo + 2 + rng.NextBounded(1000000), 1).ok());
+  }
+  EXPECT_GT(index.resegment_count(), 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Fiting, InsertBelowMinimumUsesHeadBuffer) {
+  const auto keys = UniformKeys(2000, 5);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // 600 keys below the previous minimum: forces head-buffer flushes.
+  for (Key k = 600; k >= 1; --k) {
+    ASSERT_TRUE(index.Insert(k, k * 3).ok());
+  }
+  for (Key k = 1; k <= 600; ++k) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+    ASSERT_TRUE(found) << k;
+    EXPECT_EQ(p, k * 3);
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Fiting, UpsertInDataAndBuffer) {
+  const auto keys = UniformKeys(1000, 6);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // Upsert a bulkloaded key (lives in the data area).
+  ASSERT_TRUE(index.Insert(keys[500], 111).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(keys[500], &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 111u);
+  // Insert a new key (lives in a buffer), then upsert it.
+  const Key nk = keys[500] + 1;
+  ASSERT_TRUE(index.Insert(nk, 1).ok());
+  ASSERT_TRUE(index.Insert(nk, 2).ok());
+  ASSERT_TRUE(index.Lookup(nk, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 2u);
+  const auto stats = index.GetIndexStats();
+  EXPECT_EQ(stats.num_records, keys.size() + 1);
+}
+
+TEST(Fiting, ScanMergesBufferAndData) {
+  const auto keys = SequentialKeys(10000, 1000, 10);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // Interleave buffer keys between data keys.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Insert(keys[5000 + i] + 5, 42).ok());
+  }
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[5000], 100, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i].key, out[i - 1].key);
+  }
+  // The interleaved keys must appear.
+  EXPECT_EQ(out[1].key, keys[5000] + 5);
+}
+
+TEST(Fiting, ScanAcrossSegments) {
+  const auto keys = ClusteredKeys(20000, 7);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_GT(index.segment_count(), 1u);
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[100], 5000, &out).ok());
+  ASSERT_EQ(out.size(), 5000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, keys[100 + i]);
+  }
+}
+
+TEST(Fiting, ScanFromBelowMinimumIncludesHeadBuffer) {
+  const auto keys = SequentialKeys(1000, 10000, 10);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_TRUE(index.Insert(5, 50).ok());
+  ASSERT_TRUE(index.Insert(7, 70).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(1, 4, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].key, 5u);
+  EXPECT_EQ(out[1].key, 7u);
+  EXPECT_EQ(out[2].key, 10000u);
+}
+
+TEST(Fiting, EmptyBulkloadThenGrow) {
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload({}).ok());
+  for (Key k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 7, k).ok());
+  }
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(7 * 1234, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 1234u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Fiting, LookupIoStaysNearPaperProfile) {
+  // Table 4: FITing lookup ~= directory height + ~1.2 leaf blocks.
+  const auto keys = HeavyTailKeys(50000, 8);
+  FitingTreeIndex index(Opts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  index.DropCaches();
+  index.io_stats().Reset();
+  Rng rng(3);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const Key k = keys[rng.NextBounded(keys.size())];
+    Payload p;
+    bool found;
+    ASSERT_TRUE(index.Lookup(k, &p, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  const auto io = index.io_stats().snapshot();
+  const double leaf_per_op = static_cast<double>(io.ReadsFor(FileClass::kLeaf)) / n;
+  EXPECT_GE(leaf_per_op, 1.0);
+  EXPECT_LE(leaf_per_op, 2.0);  // error bound 64 => window fits 1-2 blocks
+  EXPECT_EQ(io.TotalWrites(), 0u);  // lookups never write
+}
+
+// Property: random workloads agree with std::map.
+class FitingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int /*dist*/, std::uint32_t /*buffer*/>> {};
+
+TEST_P(FitingPropertyTest, MatchesReferenceModel) {
+  const auto [dist, buffer] = GetParam();
+  std::vector<Key> initial;
+  switch (dist) {
+    case 0: initial = UniformKeys(2000, 50); break;
+    case 1: initial = ClusteredKeys(2000, 51); break;
+    default: initial = SequentialKeys(2000); break;
+  }
+  FitingTreeIndex index(Opts(4096, buffer));
+  ASSERT_TRUE(index.Bulkload(ToRecords(initial)).ok());
+  std::map<Key, Payload> reference;
+  for (Key k : initial) reference[k] = PayloadFor(k);
+
+  Rng rng(1000 + dist);
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t dice = rng.NextBounded(100);
+    const Key key = 1 + rng.NextBounded(1ULL << 50);
+    if (dice < 55) {
+      ASSERT_TRUE(index.Insert(key, key ^ 0xF00D).ok());
+      reference[key] = key ^ 0xF00D;
+    } else if (dice < 85) {
+      Payload p = 0;
+      bool found = false;
+      ASSERT_TRUE(index.Lookup(key, &p, &found).ok());
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << "key=" << key << " op=" << op;
+      if (found) {
+        ASSERT_EQ(p, it->second);
+      }
+    } else {
+      std::vector<Record> out;
+      ASSERT_TRUE(index.Scan(key, 25, &out).ok());
+      auto it = reference.lower_bound(key);
+      for (const auto& r : out) {
+        ASSERT_NE(it, reference.end());
+        ASSERT_EQ(r.key, it->first) << "op=" << op;
+        ASSERT_EQ(r.payload, it->second);
+        ++it;
+      }
+      if (out.size() < 25) {
+        ASSERT_EQ(it, reference.end());
+      }
+    }
+  }
+  EXPECT_EQ(index.GetIndexStats().num_records, reference.size());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+std::string FitingParamName(
+    const ::testing::TestParamInfo<FitingPropertyTest::ParamType>& param) {
+  static const char* kDistNames[] = {"uniform", "clustered", "sequential"};
+  return std::string(kDistNames[std::get<0>(param.param)]) + "_buf" +
+         std::to_string(std::get<1>(param.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FitingPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(8u, 64u, 256u)),
+                         FitingParamName);
+
+TEST(Fiting, StorageGrowsWithResegmentation) {
+  // O12/Figure 10: SMOs allocate new runs; old space is invalid, not reused.
+  const auto keys = UniformKeys(5000, 60);
+  FitingTreeIndex index(Opts(4096, 16));
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const auto before = index.GetIndexStats();
+  Rng rng(61);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(index.Insert(1 + rng.NextBounded(1ULL << 61), 9).ok());
+  }
+  const auto after = index.GetIndexStats();
+  EXPECT_GT(after.disk_bytes, before.disk_bytes);
+  EXPECT_GT(after.freed_bytes, 0u);
+  EXPECT_GT(after.smo_count, 0u);
+}
+
+}  // namespace
+}  // namespace liod

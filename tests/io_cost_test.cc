@@ -1,0 +1,221 @@
+// Checks the worst-case I/O cost bounds of Table 2 empirically: for each
+// index, the measured per-operation block counts must stay within the
+// paper's asymptotic envelope (with explicit constants derived from the
+// structures' geometry).
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index_factory.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ToRecords;
+
+struct CostFixture {
+  std::unique_ptr<DiskIndex> index;
+  std::vector<Key> keys;
+
+  CostFixture(const std::string& name, const std::string& dataset, std::size_t n,
+              IndexOptions options = {}) {
+    options.alex_max_data_node_slots = 4096;
+    index = MakeIndex(name, options);
+    keys = MakeDataset(dataset, n, 77);
+    CheckOk(index->Bulkload(ToRecords(keys)), "bulkload");
+    index->DropCaches();
+    index->io_stats().Reset();
+  }
+
+  double AvgLookupReads(int n_ops = 300) {
+    Rng rng(5);
+    index->DropCaches();
+    index->io_stats().Reset();
+    for (int i = 0; i < n_ops; ++i) {
+      Payload p;
+      bool found;
+      CheckOk(index->Lookup(keys[rng.NextBounded(keys.size())], &p, &found), "lookup");
+      EXPECT_TRUE(found);
+    }
+    return static_cast<double>(index->io_stats().snapshot().TotalReads()) / n_ops;
+  }
+
+  double AvgScanReads(std::size_t len, int n_ops = 150) {
+    Rng rng(6);
+    index->DropCaches();
+    index->io_stats().Reset();
+    std::vector<Record> out;
+    for (int i = 0; i < n_ops; ++i) {
+      CheckOk(index->Scan(keys[rng.NextBounded(keys.size() - len)], len, &out), "scan");
+      EXPECT_EQ(out.size(), len);
+    }
+    return static_cast<double>(index->io_stats().snapshot().TotalReads()) / n_ops;
+  }
+
+  double AvgInsertIo(int n_ops = 500) {
+    Rng rng(7);
+    index->DropCaches();
+    index->io_stats().Reset();
+    for (int i = 0; i < n_ops; ++i) {
+      CheckOk(index->Insert(1 + rng.NextBounded(1ULL << 60), 1), "insert");
+    }
+    return static_cast<double>(index->io_stats().snapshot().TotalIo()) / n_ops;
+  }
+};
+
+constexpr std::size_t kN = 60'000;
+
+// --- B+-tree: lookup = log_B N; scan adds z/B; insert ~ lookup + writes ----
+
+TEST(IoCost, BTreeLookupIsHeight) {
+  CostFixture f("btree", "osm", kN);
+  const double height = static_cast<double>(f.index->GetIndexStats().height);
+  EXPECT_DOUBLE_EQ(f.AvgLookupReads(), height);
+}
+
+TEST(IoCost, BTreeScanAddsLeafBlocks) {
+  CostFixture f("btree", "osm", kN);
+  const double height = static_cast<double>(f.index->GetIndexStats().height);
+  const double z_blocks = 100.0 * 16 / (4096 * 0.8);  // z/B at fill 0.8
+  const double avg = f.AvgScanReads(100);
+  EXPECT_LE(avg, height + z_blocks + 1.5);
+  EXPECT_GE(avg, height);
+}
+
+TEST(IoCost, BTreeInsertBounded) {
+  CostFixture f("btree", "osm", kN);
+  const double height = static_cast<double>(f.index->GetIndexStats().height);
+  // Table 2: 2 log_B N worst case; amortized must be height + O(1) writes.
+  EXPECT_LE(f.AvgInsertIo(), 2.0 * height + 1.0);
+}
+
+// --- FITing-tree: lookup = log_B P + 2eps/B --------------------------------
+
+TEST(IoCost, FitingLookupWithinEpsilonWindow) {
+  CostFixture f("fiting", "osm", kN);
+  // Directory descent (btree height + 1 desc block) + <= 2 data blocks
+  // (eps=64 window = 128 records = 2 KB, at most 2 blocks) + rare buffer.
+  const double avg = f.AvgLookupReads();
+  EXPECT_LE(avg, 3.0 + 1.0 + 2.0);
+  EXPECT_GE(avg, 2.0);
+}
+
+TEST(IoCost, FitingInsertBuffered) {
+  CostFixture f("fiting", "osm", kN);
+  // Search (<= inner+window) + buffer read/write + count update; SMOs amortize.
+  EXPECT_LE(f.AvgInsertIo(), 14.0);
+}
+
+// --- PGM: lookup ~ levels + data window; insert touches only the buffer ----
+
+TEST(IoCost, PgmLookupPerLevelWindows) {
+  CostFixture f("pgm", "osm", kN);
+  const double height = static_cast<double>(f.index->GetIndexStats().height);
+  // Each level window spans at most 2 blocks (eps 64 / eps_rec 16).
+  EXPECT_LE(f.AvgLookupReads(), 2.0 * (height + 1.0));
+}
+
+TEST(IoCost, PgmInsertTouchesBufferOnly) {
+  IndexOptions options;
+  options.pgm_insert_buffer_records = 585;
+  CostFixture f("pgm", "osm", kN, options);
+  // Buffer search (1-2 reads) + suffix write (1-2) with merges amortized
+  // across 500 inserts under the 585-record buffer.
+  EXPECT_LE(f.AvgInsertIo(), 8.0);
+}
+
+// --- ALEX: lookup >= header + slot; scan pays bitmap blocks ----------------
+
+TEST(IoCost, AlexLookupHeaderPlusSlot) {
+  CostFixture f("alex", "osm", kN);
+  const double height = static_cast<double>(f.index->GetIndexStats().height);
+  const double avg = f.AvgLookupReads();
+  EXPECT_GE(avg, 1.5);                    // model + slot most of the time
+  EXPECT_LE(avg, 2.0 * height + 4.0);     // log N + exp-search spillover
+}
+
+TEST(IoCost, AlexScanPaysBitmapOverhead) {
+  CostFixture f("alex", "osm", kN);
+  const double lookup = f.AvgLookupReads();
+  const double scan = f.AvgScanReads(100);
+  const double z_blocks = 100.0 * 16 / 4096;
+  // Table 2: scan = lookup + z/B + bitmap blocks (the "+3").
+  EXPECT_GE(scan, lookup);
+  EXPECT_LE(scan, lookup + z_blocks + 5.0);
+}
+
+// --- LIPP: lookup <= 2 blocks per node, no search step ---------------------
+
+TEST(IoCost, LippLookupTwoBlocksPerNode) {
+  CostFixture f("lipp", "osm", kN);
+  Rng rng(5);
+  f.index->DropCaches();
+  f.index->io_stats().Reset();
+  const int n_ops = 300;
+  for (int i = 0; i < n_ops; ++i) {
+    Payload p;
+    bool found;
+    CheckOk(f.index->Lookup(f.keys[rng.NextBounded(f.keys.size())], &p, &found), "lookup");
+    ASSERT_TRUE(found);
+  }
+  const auto io = f.index->io_stats().snapshot();
+  // Table 2: 2 log N -- at most two blocks (header + slot) per visited node.
+  EXPECT_LE(io.TotalReads(), 2 * io.inner_nodes_visited);
+}
+
+TEST(IoCost, LippInsertWritesWholePath) {
+  CostFixture f("lipp", "osm", kN);
+  Rng rng(9);
+  f.index->DropCaches();
+  f.index->io_stats().Reset();
+  const int n_ops = 300;
+  for (int i = 0; i < n_ops; ++i) {
+    CheckOk(f.index->Insert(1 + rng.NextBounded(1ULL << 60), 1), "insert");
+  }
+  const auto io = f.index->io_stats().snapshot();
+  // Maintenance rewrites one header per path node: writes >= ~1 per insert.
+  EXPECT_GE(io.TotalWrites(), static_cast<std::uint64_t>(n_ops));
+}
+
+// --- scans scale linearly in z for the contiguous layouts ------------------
+
+class ScanScalingTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScanScalingTest, LinearInScanLength) {
+  CostFixture f(GetParam(), "ycsb", kN);
+  const double short_scan = f.AvgScanReads(50);
+  const double long_scan = f.AvgScanReads(400);
+  // 8x the records must cost at most ~8x the marginal blocks (plus descent).
+  EXPECT_LE(long_scan, 8.0 * short_scan + 4.0) << GetParam();
+  EXPECT_GT(long_scan, short_scan) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ContiguousLayouts, ScanScalingTest,
+                         ::testing::Values("btree", "fiting", "pgm"));
+
+// --- memory-resident inner mode stops counting inner I/O (Section 6.2) -----
+
+TEST(IoCost, MemoryResidentInnerExcludesInnerReads) {
+  IndexOptions options;
+  options.memory_resident_inner = true;
+  CostFixture f("btree", "osm", kN, options);
+  Rng rng(5);
+  const int n_ops = 200;
+  for (int i = 0; i < n_ops; ++i) {
+    Payload p;
+    bool found;
+    CheckOk(f.index->Lookup(f.keys[rng.NextBounded(f.keys.size())], &p, &found), "lookup");
+  }
+  const auto io = f.index->io_stats().snapshot();
+  EXPECT_EQ(io.ReadsFor(FileClass::kInner), 0u);
+  // Exactly one leaf block per lookup remains.
+  EXPECT_EQ(io.ReadsFor(FileClass::kLeaf), static_cast<std::uint64_t>(n_ops));
+}
+
+}  // namespace
+}  // namespace liod

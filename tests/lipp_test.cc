@@ -1,0 +1,233 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lipp/lipp_index.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::ClusteredKeys;
+using testing_util::HeavyTailKeys;
+using testing_util::SequentialKeys;
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+IndexOptions LippOpts() {
+  IndexOptions o;
+  return o;
+}
+
+TEST(Lipp, BulkloadAndLookupAll) {
+  const auto keys = UniformKeys(20000, 1);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  for (std::size_t i = 0; i < keys.size(); i += 37) {
+    Payload p = 0;
+    bool found = false;
+    ASSERT_TRUE(index.Lookup(keys[i], &p, &found).ok());
+    ASSERT_TRUE(found) << keys[i];
+    EXPECT_EQ(p, PayloadFor(keys[i]));
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Lipp, PredictionsAreExact) {
+  // Table 1: LIPP needs no search step -- a lookup reads exactly one slot
+  // per visited node. Verify no lookup reads more than height * ~2 blocks.
+  const auto keys = HeavyTailKeys(30000, 2);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  index.DropCaches();
+  index.io_stats().Reset();
+  Rng rng(3);
+  const int n = 400;
+  std::uint64_t nodes = 0;
+  for (int i = 0; i < n; ++i) {
+    Payload p;
+    bool found;
+    ASSERT_TRUE(index.Lookup(keys[rng.NextBounded(keys.size())], &p, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  const auto io = index.io_stats().snapshot();
+  nodes = io.inner_nodes_visited;
+  // Each node visit costs at most ~2-3 blocks (header+flags, slot).
+  EXPECT_LE(io.TotalReads(), 3 * nodes);
+  EXPECT_EQ(io.TotalWrites(), 0u);
+}
+
+TEST(Lipp, LookupMissing) {
+  const auto keys = UniformKeys(5000, 4);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::set<Key> present(keys.begin(), keys.end());
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Key probe = 1 + rng.NextBounded(1ULL << 62);
+    if (present.count(probe)) continue;
+    Payload p;
+    bool found = true;
+    ASSERT_TRUE(index.Lookup(probe, &p, &found).ok());
+    EXPECT_FALSE(found);
+  }
+}
+
+TEST(Lipp, InsertIntoNullSlot) {
+  const auto keys = SequentialKeys(1000, 1000, 100);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  // With a 5x gapped node, most new keys land in NULL slots.
+  const auto before_nodes = index.node_count();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index.Insert(keys[i * 7] + 50, 1).ok());
+  }
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  EXPECT_LE(index.node_count(), before_nodes + 40);  // mostly in-place inserts
+}
+
+TEST(Lipp, ConflictCreatesChildNode) {
+  const auto keys = SequentialKeys(1000, 1000, 100);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const auto before = index.conflict_smo_count();
+  // Keys adjacent to existing ones predict the same slot -> conflicts.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(index.Insert(keys[i * 4] + 1, 2).ok());
+  }
+  EXPECT_GT(index.conflict_smo_count(), before);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Lipp, UpsertInPlace) {
+  const auto keys = UniformKeys(2000, 6);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_TRUE(index.Insert(keys[1000], 777).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(keys[1000], &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(p, 777u);
+  EXPECT_EQ(index.GetIndexStats().num_records, keys.size());
+}
+
+TEST(Lipp, HeavyInsertsTriggerRebuild) {
+  const auto keys = UniformKeys(500, 7);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  Rng rng(8);
+  for (int i = 0; i < 8000; ++i) {
+    ASSERT_TRUE(index.Insert(1 + rng.NextBounded(1ULL << 40), 3).ok());
+  }
+  EXPECT_GT(index.rebuild_smo_count(), 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Lipp, ScanInOrder) {
+  const auto keys = ClusteredKeys(10000, 9);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[4000], 500, &out).ok());
+  ASSERT_EQ(out.size(), 500u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].key, keys[4000 + i]);
+  }
+}
+
+TEST(Lipp, ScanCostsManyNodeVisits) {
+  // O5/S2: LIPP scans traverse many nodes (no sibling links).
+  const auto keys = HeavyTailKeys(20000, 10);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  index.DropCaches();
+  index.io_stats().Reset();
+  std::vector<Record> out;
+  ASSERT_TRUE(index.Scan(keys[10000], 100, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  const auto io = index.io_stats().snapshot();
+  EXPECT_GT(io.inner_nodes_visited, 1u);
+}
+
+TEST(Lipp, InsertBelowAndAboveRange) {
+  const auto keys = SequentialKeys(1000, 100000, 10);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  ASSERT_TRUE(index.Insert(5, 50).ok());
+  ASSERT_TRUE(index.Insert(keys.back() + 1000, 60).ok());
+  Payload p;
+  bool found;
+  ASSERT_TRUE(index.Lookup(5, &p, &found).ok());
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(index.Lookup(keys.back() + 1000, &p, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(Lipp, StorageIsLargest) {
+  // O11: LIPP's gapped nodes make it the biggest index on disk.
+  const auto keys = UniformKeys(20000, 11);
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+  const auto stats = index.GetIndexStats();
+  // 5x slot multiplier at this scale: at least 5 * 16 bytes per record.
+  EXPECT_GT(stats.disk_bytes, keys.size() * 5 * sizeof(Record));
+}
+
+class LippPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LippPropertyTest, MatchesReferenceModel) {
+  const int dist = GetParam();
+  std::vector<Key> initial;
+  switch (dist) {
+    case 0: initial = UniformKeys(2000, 80 + dist); break;
+    case 1: initial = ClusteredKeys(2000, 80 + dist); break;
+    default: initial = HeavyTailKeys(2000, 80 + dist); break;
+  }
+  LippIndex index(LippOpts());
+  ASSERT_TRUE(index.Bulkload(ToRecords(initial)).ok());
+  std::map<Key, Payload> reference;
+  for (Key k : initial) reference[k] = PayloadFor(k);
+
+  Rng rng(900 + dist);
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t dice = rng.NextBounded(100);
+    const Key key = 1 + rng.NextBounded(1ULL << 50);
+    if (dice < 55) {
+      ASSERT_TRUE(index.Insert(key, key ^ 0x1234).ok()) << op;
+      reference[key] = key ^ 0x1234;
+    } else if (dice < 85) {
+      Payload p = 0;
+      bool found = false;
+      ASSERT_TRUE(index.Lookup(key, &p, &found).ok());
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << "op=" << op;
+      if (found) {
+        ASSERT_EQ(p, it->second);
+      }
+    } else {
+      std::vector<Record> out;
+      ASSERT_TRUE(index.Scan(key, 25, &out).ok());
+      auto it = reference.lower_bound(key);
+      for (const auto& r : out) {
+        ASSERT_NE(it, reference.end()) << op;
+        ASSERT_EQ(r.key, it->first) << "op=" << op;
+        ASSERT_EQ(r.payload, it->second);
+        ++it;
+      }
+      if (out.size() < 25) {
+        ASSERT_EQ(it, reference.end());
+      }
+    }
+  }
+  EXPECT_EQ(index.GetIndexStats().num_records, reference.size());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LippPropertyTest, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace liod

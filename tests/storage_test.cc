@@ -1,0 +1,341 @@
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/block_device.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/fault_injection_device.h"
+#include "storage/io_stats.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+namespace {
+
+constexpr std::size_t kBs = 4096;
+
+std::vector<std::byte> Pattern(std::size_t size, unsigned char seed) {
+  std::vector<std::byte> data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed + i * 31) & 0xFF);
+  }
+  return data;
+}
+
+// --- MemoryBlockDevice --------------------------------------------------
+
+TEST(MemoryBlockDevice, RoundTrip) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(4).ok());
+  const auto data = Pattern(kBs, 7);
+  ASSERT_TRUE(dev.Write(2, data.data()).ok());
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(dev.Read(2, out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
+}
+
+TEST(MemoryBlockDevice, ReadPastEndFails) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(2).ok());
+  std::vector<std::byte> out(kBs);
+  EXPECT_EQ(dev.Read(2, out.data()).code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(dev.Write(5, out.data()).code(), Status::Code::kOutOfRange);
+}
+
+TEST(MemoryBlockDevice, GrowZeroFills) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(1).ok());
+  std::vector<std::byte> out(kBs, std::byte{0xFF});
+  ASSERT_TRUE(dev.Read(0, out.data()).ok());
+  for (std::size_t i = 0; i < kBs; ++i) EXPECT_EQ(out[i], std::byte{0});
+}
+
+// --- FileBlockDevice ----------------------------------------------------
+
+TEST(FileBlockDevice, RoundTripThroughRealFile) {
+  const std::string path = ::testing::TempDir() + "/liod_fbd_test.bin";
+  FileBlockDevice dev(path, kBs);
+  ASSERT_TRUE(dev.ok());
+  ASSERT_TRUE(dev.Grow(3).ok());
+  const auto data = Pattern(kBs, 99);
+  ASSERT_TRUE(dev.Write(1, data.data()).ok());
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(dev.Read(1, out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
+  std::remove(path.c_str());
+}
+
+TEST(FileBlockDevice, ReopenPreservesContents) {
+  const std::string path = ::testing::TempDir() + "/liod_fbd_reopen.bin";
+  const auto data = Pattern(kBs, 55);
+  {
+    FileBlockDevice dev(path, kBs);
+    ASSERT_TRUE(dev.ok());
+    ASSERT_TRUE(dev.Grow(2).ok());
+    ASSERT_TRUE(dev.Write(1, data.data()).ok());
+  }
+  {
+    FileBlockDevice dev(path, kBs, /*truncate=*/false);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_EQ(dev.num_blocks(), 2u);
+    std::vector<std::byte> out(kBs);
+    ASSERT_TRUE(dev.Read(1, out.data()).ok());
+    EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
+  }
+  std::remove(path.c_str());
+}
+
+// --- BufferPool ---------------------------------------------------------
+
+TEST(BufferPool, CapacityOneReusesLastBlockOnly) {
+  // The paper's default: only the last fetched block is reusable (Sec 6.5).
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(3).ok());
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/1);
+  std::vector<std::byte> out(kBs);
+
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit
+  EXPECT_EQ(stats.snapshot().TotalReads(), 1u);
+  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss, evicts 0
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss again
+  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
+}
+
+TEST(BufferPool, LruEvictionOrder) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(4).ok());
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/2);
+  std::vector<std::byte> out(kBs);
+
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // cache: {0}
+  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // cache: {1,0}
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit; cache: {0,1}
+  ASSERT_TRUE(pool.ReadBlock(2, out.data()).ok());  // evicts 1
+  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // still cached
+  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // was evicted: miss
+  EXPECT_EQ(stats.snapshot().TotalReads(), 4u);
+}
+
+TEST(BufferPool, WriteThroughCountsEveryWrite) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(2).ok());
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, 4);
+  const auto data = Pattern(kBs, 1);
+  ASSERT_TRUE(pool.WriteBlock(0, data.data()).ok());
+  ASSERT_TRUE(pool.WriteBlock(0, data.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 2u);
+  // The written block is cached: reading it costs no device read.
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 0u);
+  EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
+}
+
+TEST(BufferPool, UncountedPoolLeavesStatsUntouched) {
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(2).ok());
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kInner, BufferPool::kUnbounded,
+                  /*count_io=*/false);
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(pool.WriteBlock(1, out.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalIo(), 0u);
+}
+
+TEST(BufferPool, ClassifiedCounting) {
+  MemoryBlockDevice inner_dev(kBs), leaf_dev(kBs);
+  ASSERT_TRUE(inner_dev.Grow(1).ok());
+  ASSERT_TRUE(leaf_dev.Grow(1).ok());
+  IoStats stats;
+  BufferPool inner(&inner_dev, &stats, FileClass::kInner, 1);
+  BufferPool leaf(&leaf_dev, &stats, FileClass::kLeaf, 1);
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(inner.ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(leaf.ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(leaf.ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(stats.snapshot().ReadsFor(FileClass::kInner), 1u);
+  EXPECT_EQ(stats.snapshot().ReadsFor(FileClass::kLeaf), 1u);
+}
+
+// --- PagedFile ----------------------------------------------------------
+
+PagedFile MakeMemFile(IoStats* stats, PagedFileOptions options = {}) {
+  return PagedFile(std::make_unique<MemoryBlockDevice>(kBs), stats, FileClass::kLeaf, options);
+}
+
+TEST(PagedFile, AllocateIsSequential) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  EXPECT_EQ(file.Allocate(), 0u);
+  EXPECT_EQ(file.Allocate(), 1u);
+  EXPECT_EQ(file.AllocateRun(3), 2u);
+  EXPECT_EQ(file.Allocate(), 5u);
+  EXPECT_EQ(file.allocated_blocks(), 6u);
+}
+
+TEST(PagedFile, FreedSpaceNotReusedByDefault) {
+  // Paper behaviour (Section 6.3): freed blocks are invalid space.
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  const BlockId a = file.Allocate();
+  file.Free(a);
+  EXPECT_EQ(file.Allocate(), a + 1);
+  EXPECT_EQ(file.freed_blocks(), 1u);
+  EXPECT_EQ(file.live_blocks(), 1u);
+  EXPECT_EQ(file.allocated_blocks(), 2u);
+}
+
+TEST(PagedFile, FreedSpaceReusedWhenEnabled) {
+  IoStats stats;
+  PagedFileOptions opt;
+  opt.reuse_freed_space = true;
+  auto file = MakeMemFile(&stats, opt);
+  const BlockId a = file.Allocate();
+  (void)file.Allocate();
+  file.Free(a);
+  EXPECT_EQ(file.Allocate(), a);  // recycled
+  EXPECT_EQ(file.freed_blocks(), 0u);
+}
+
+TEST(PagedFile, RunReuseBestFit) {
+  IoStats stats;
+  PagedFileOptions opt;
+  opt.reuse_freed_space = true;
+  auto file = MakeMemFile(&stats, opt);
+  const BlockId run = file.AllocateRun(8);
+  (void)file.Allocate();
+  file.Free(run, 8);
+  // A 5-block request carves the 8-block hole; remainder stays free.
+  EXPECT_EQ(file.AllocateRun(5), run);
+  EXPECT_EQ(file.AllocateRun(3), run + 5);
+  EXPECT_EQ(file.freed_blocks(), 0u);
+}
+
+TEST(PagedFile, ByteRangeAcrossBlocks) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  (void)file.AllocateRun(3);
+  // Write 6000 bytes starting inside block 0, spilling into block 1.
+  std::vector<std::byte> data(6000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i & 0xFF);
+  ASSERT_TRUE(file.WriteBytes(1000, data.size(), data.data()).ok());
+  std::vector<std::byte> out(6000);
+  ASSERT_TRUE(file.ReadBytes(1000, out.size(), out.data()).ok());
+  EXPECT_EQ(data, out);
+}
+
+TEST(PagedFile, PartialBlockWriteIsReadModifyWrite) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  (void)file.Allocate();
+  std::vector<std::byte> small(10, std::byte{0xAB});
+  stats.Reset();
+  ASSERT_TRUE(file.WriteBytes(100, small.size(), small.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 1u);   // fetched for merge
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 1u);
+}
+
+TEST(PagedFile, FullBlockWriteSkipsRead) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  (void)file.Allocate();
+  std::vector<std::byte> block(kBs, std::byte{0x11});
+  stats.Reset();
+  ASSERT_TRUE(file.WriteBytes(0, kBs, block.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 0u);
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 1u);
+}
+
+// --- FaultInjectionDevice ------------------------------------------------
+
+TEST(FaultInjection, FailAfterCountsDown) {
+  auto base = std::make_unique<MemoryBlockDevice>(kBs);
+  ASSERT_TRUE(base->Grow(4).ok());
+  FaultInjectionDevice dev(std::move(base));
+  dev.FailAfter(2);
+  std::vector<std::byte> buf(kBs);
+  EXPECT_TRUE(dev.Read(0, buf.data()).ok());
+  EXPECT_TRUE(dev.Write(1, buf.data()).ok());
+  EXPECT_EQ(dev.Read(2, buf.data()).code(), Status::Code::kIoError);
+  EXPECT_EQ(dev.injected_failures(), 1u);
+}
+
+TEST(FaultInjection, PoisonedBlock) {
+  auto base = std::make_unique<MemoryBlockDevice>(kBs);
+  ASSERT_TRUE(base->Grow(4).ok());
+  FaultInjectionDevice dev(std::move(base));
+  dev.FailBlock(3);
+  std::vector<std::byte> buf(kBs);
+  EXPECT_TRUE(dev.Read(0, buf.data()).ok());
+  EXPECT_EQ(dev.Write(3, buf.data()).code(), Status::Code::kIoError);
+  dev.ClearFailBlock();
+  EXPECT_TRUE(dev.Write(3, buf.data()).ok());
+}
+
+TEST(FaultInjection, PoolPropagatesErrorsWithoutCaching) {
+  auto base = std::make_unique<MemoryBlockDevice>(kBs);
+  ASSERT_TRUE(base->Grow(2).ok());
+  auto* raw = new FaultInjectionDevice(
+      std::unique_ptr<BlockDevice>(std::move(base)));
+  std::unique_ptr<BlockDevice> owned(raw);
+  IoStats stats;
+  BufferPool pool(owned.get(), &stats, FileClass::kLeaf, 2);
+  raw->FailBlock(1);
+  std::vector<std::byte> buf(kBs);
+  EXPECT_FALSE(pool.ReadBlock(1, buf.data()).ok());
+  raw->ClearFailBlock();
+  // After the failure clears, the block must be readable (not a stale frame).
+  EXPECT_TRUE(pool.ReadBlock(1, buf.data()).ok());
+}
+
+// --- DiskModel ----------------------------------------------------------
+
+TEST(DiskModel, ChargesReadsAndWrites) {
+  IoStatsSnapshot io;
+  io.reads[static_cast<int>(FileClass::kLeaf)] = 10;
+  io.writes[static_cast<int>(FileClass::kLeaf)] = 5;
+  const DiskModel hdd = DiskModel::Hdd();
+  EXPECT_DOUBLE_EQ(hdd.IoMicros(io), 10 * hdd.read_latency_us + 5 * hdd.write_latency_us);
+  const DiskModel none = DiskModel::None();
+  EXPECT_DOUBLE_EQ(none.IoMicros(io), 0.0);
+}
+
+TEST(DiskModel, SsdFasterThanHdd) {
+  IoStatsSnapshot io;
+  io.reads[0] = 100;
+  EXPECT_LT(DiskModel::Ssd().IoMicros(io), DiskModel::Hdd().IoMicros(io));
+}
+
+TEST(DiskModel, ThroughputInvertsLatency) {
+  IoStatsSnapshot io;
+  io.reads[0] = 4;  // 4 blocks/op, 1 op
+  const DiskModel ssd = DiskModel::Ssd();
+  const double tput = ssd.ThroughputOps(1, /*cpu_micros=*/0.0, io);
+  EXPECT_NEAR(tput, 1e6 / (4 * ssd.read_latency_us), 1e-6);
+}
+
+TEST(IoStatsSnapshotTest, DeltaArithmetic) {
+  IoStats stats;
+  stats.CountRead(FileClass::kInner);
+  const IoStatsSnapshot before = stats.snapshot();
+  stats.CountRead(FileClass::kInner);
+  stats.CountWrite(FileClass::kLeaf);
+  stats.CountLeafNodeVisit();
+  const IoStatsSnapshot delta = stats.snapshot() - before;
+  EXPECT_EQ(delta.ReadsFor(FileClass::kInner), 1u);
+  EXPECT_EQ(delta.WritesFor(FileClass::kLeaf), 1u);
+  EXPECT_EQ(delta.leaf_nodes_visited, 1u);
+  EXPECT_EQ(delta.TotalIo(), 2u);
+}
+
+}  // namespace
+}  // namespace liod

@@ -1,0 +1,66 @@
+#ifndef LIOD_TESTS_TEST_UTIL_H_
+#define LIOD_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace liod {
+namespace testing_util {
+
+/// `n` sorted unique uniform-random keys in [1, 2^62).
+inline std::vector<Key> UniformKeys(std::size_t n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  while (keys.size() < n) keys.insert(1 + rng.NextBounded((1ULL << 62) - 1));
+  return {keys.begin(), keys.end()};
+}
+
+/// Sorted unique keys from a clustered (hard-to-model) distribution.
+inline std::vector<Key> ClusteredKeys(std::size_t n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  Key base = 1000;
+  while (keys.size() < n) {
+    // Jump to a new cluster occasionally; dense runs in between.
+    if (rng.NextBounded(100) < 5) base += 1 + rng.NextBounded(1ULL << 40);
+    base += 1 + rng.NextBounded(16);
+    keys.insert(base);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+/// Sorted unique keys from a heavy-tailed (lognormal-like) distribution.
+inline std::vector<Key> HeavyTailKeys(std::size_t n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  while (keys.size() < n) {
+    const double g = rng.NextGaussian();
+    const double v = std::exp(1.5 * g + 20.0);
+    if (v < 1.0 || v >= 9.0e18) continue;
+    keys.insert(static_cast<Key>(v));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+/// Perfectly linear keys (easiest case).
+inline std::vector<Key> SequentialKeys(std::size_t n, Key start = 1000, Key stride = 7) {
+  std::vector<Key> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = start + stride * static_cast<Key>(i);
+  return keys;
+}
+
+inline std::vector<Record> ToRecords(const std::vector<Key>& keys) {
+  std::vector<Record> records(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) records[i] = {keys[i], PayloadFor(keys[i])};
+  return records;
+}
+
+}  // namespace testing_util
+}  // namespace liod
+
+#endif  // LIOD_TESTS_TEST_UTIL_H_

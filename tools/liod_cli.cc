@@ -1,0 +1,201 @@
+// liod_cli: run any index x dataset x workload combination from the command
+// line and report throughput, exact block I/O, phase breakdown, tail
+// latency, and storage footprint. The general-purpose driver behind the
+// per-figure benchmarks.
+//
+//   liod_cli --index alex --dataset fb --workload balanced
+//            --bulk 100000 --ops 100000 [--block 4096] [--buffer 1]
+//            [--disk hdd|ssd|both] [--csv] [--inner-in-memory]
+//            [--scan-length 100] [--seed 42]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/index_factory.h"
+#include "workload/datasets.h"
+#include "workload/runner.h"
+
+using namespace liod;
+
+namespace {
+
+struct CliArgs {
+  std::string index = "btree";
+  std::string dataset = "fb";
+  std::string workload = "lookup-only";
+  std::size_t bulk = 100'000;
+  std::size_t ops = 50'000;
+  std::size_t block = 4096;
+  std::size_t buffer = 1;
+  std::size_t scan_length = 100;
+  std::uint64_t seed = 42;
+  std::string disk = "both";
+  bool csv = false;
+  bool inner_in_memory = false;
+};
+
+void Usage() {
+  std::printf(
+      "liod_cli --index NAME --dataset NAME --workload TYPE [options]\n\n"
+      "indexes:   btree fiting pgm alex alex-l1 lipp hybrid-{fiting,pgm,alex,lipp}\n"
+      "datasets: ");
+  for (const auto& d : AllDatasetNames()) std::printf(" %s", d.c_str());
+  std::printf("\nworkloads:");
+  for (WorkloadType t : AllWorkloadTypes()) std::printf(" %s", WorkloadTypeName(t));
+  std::printf(
+      "\noptions:   --bulk N --ops N --block BYTES --buffer BLOCKS --seed N\n"
+      "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n");
+}
+
+bool Parse(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") return false;
+    if (a == "--csv") {
+      args->csv = true;
+    } else if (a == "--inner-in-memory") {
+      args->inner_in_memory = true;
+    } else if ((v = next()) == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", a.c_str());
+      return false;
+    } else if (a == "--index") {
+      args->index = v;
+    } else if (a == "--dataset") {
+      args->dataset = v;
+    } else if (a == "--workload") {
+      args->workload = v;
+    } else if (a == "--bulk") {
+      args->bulk = std::strtoull(v, nullptr, 10);
+    } else if (a == "--ops") {
+      args->ops = std::strtoull(v, nullptr, 10);
+    } else if (a == "--block") {
+      args->block = std::strtoull(v, nullptr, 10);
+    } else if (a == "--buffer") {
+      args->buffer = std::strtoull(v, nullptr, 10);
+    } else if (a == "--scan-length") {
+      args->scan_length = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--disk") {
+      args->disk = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!Parse(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  WorkloadType type = WorkloadType::kLookupOnly;
+  bool workload_ok = false;
+  for (WorkloadType t : AllWorkloadTypes()) {
+    if (args.workload == WorkloadTypeName(t)) {
+      type = t;
+      workload_ok = true;
+    }
+  }
+  if (!workload_ok) {
+    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+    Usage();
+    return 2;
+  }
+
+  IndexOptions options;
+  options.block_size = args.block;
+  options.buffer_pool_blocks = args.buffer;
+  options.memory_resident_inner = args.inner_in_memory;
+  options.alex_max_data_node_slots = 4096;
+  auto index = MakeIndex(args.index, options);
+  if (index == nullptr) {
+    std::fprintf(stderr, "unknown index '%s'\n", args.index.c_str());
+    Usage();
+    return 2;
+  }
+
+  const bool search_only =
+      type == WorkloadType::kLookupOnly || type == WorkloadType::kScanOnly;
+  const std::size_t dataset_keys = search_only ? args.bulk : args.bulk + args.ops;
+  const auto keys = MakeDataset(args.dataset, dataset_keys, args.seed);
+
+  WorkloadSpec spec;
+  spec.type = type;
+  spec.bulk_keys = args.bulk;
+  spec.operations = args.ops;
+  spec.scan_length = args.scan_length;
+  spec.seed = args.seed + 1;
+  const Workload w = BuildWorkload(keys, spec);
+
+  RunnerConfig config;
+  config.record_samples = true;
+  RunResult result;
+  const Status status = RunWorkload(index.get(), w, config, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<DiskModel> disks;
+  if (args.disk == "hdd" || args.disk == "both") disks.push_back(DiskModel::Hdd());
+  if (args.disk == "ssd" || args.disk == "both") disks.push_back(DiskModel::Ssd());
+  if (disks.empty()) {
+    std::fprintf(stderr, "unknown disk '%s'\n", args.disk.c_str());
+    return 2;
+  }
+
+  const IndexStats& stats = result.stats_after;
+  if (args.csv) {
+    std::printf(
+        "index,dataset,workload,disk,ops,tput_ops_s,reads_per_op,writes_per_op,"
+        "p99_us,stddev_us,disk_mib,invalid_mib,height,smos\n");
+    for (const DiskModel& disk : disks) {
+      std::printf(
+          "%s,%s,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.1f,%.2f,%.2f,%llu,%llu\n",
+          args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
+          disk.name.c_str(), static_cast<unsigned long long>(result.operations),
+          result.ThroughputOps(disk),
+          static_cast<double>(result.io.TotalReads()) / result.operations,
+          static_cast<double>(result.io.TotalWrites()) / result.operations,
+          result.LatencyPercentileUs(0.99, disk), result.LatencyStdDevUs(disk),
+          stats.disk_bytes / 1048576.0, stats.freed_bytes / 1048576.0,
+          static_cast<unsigned long long>(stats.height),
+          static_cast<unsigned long long>(stats.smo_count));
+    }
+    return 0;
+  }
+
+  std::printf("%s on %s / %s: %llu ops over %zu bulkloaded keys\n",
+              args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
+              static_cast<unsigned long long>(result.operations), args.bulk);
+  std::printf("  blocks/op: %.2f read, %.2f written\n",
+              static_cast<double>(result.io.TotalReads()) / result.operations,
+              static_cast<double>(result.io.TotalWrites()) / result.operations);
+  for (const DiskModel& disk : disks) {
+    std::printf("  %s: %.1f ops/s, p99 %.2f ms, stddev %.2f ms\n", disk.name.c_str(),
+                result.ThroughputOps(disk), result.LatencyPercentileUs(0.99, disk) / 1e3,
+                result.LatencyStdDevUs(disk) / 1e3);
+  }
+  const DiskModel& primary = disks.front();
+  std::printf("  phase breakdown (avg %s us/op):", primary.name.c_str());
+  for (OpPhase phase : {OpPhase::kSearch, OpPhase::kInsert, OpPhase::kSmo,
+                        OpPhase::kMaintenance}) {
+    std::printf(" %s=%.1f", OpPhaseName(phase),
+                index->breakdown().AvgLatencyUs(phase, primary, result.operations));
+  }
+  std::printf("\n  storage: %.2f MiB total, %.2f MiB invalid; height=%llu; smos=%llu\n",
+              stats.disk_bytes / 1048576.0, stats.freed_bytes / 1048576.0,
+              static_cast<unsigned long long>(stats.height),
+              static_cast<unsigned long long>(stats.smo_count));
+  return 0;
+}
