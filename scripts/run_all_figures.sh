@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Reproduces every paper figure/table at the default (scaled-down) sizes and
+# writes one .txt per binary to results/. Pass extra flags through, e.g.:
+#   scripts/run_all_figures.sh --search-keys 10000000
+# Assumes the tree is built in build/ (cmake --preset release && cmake --build build -j).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-results}
+mkdir -p "$OUT_DIR"
+
+binaries=(
+  fig3_search_throughput fig4_fetched_blocks fig5_write_throughput
+  fig6_write_breakdown fig7_bulkload fig8_hybrid_search fig9_hybrid_write
+  fig10_storage fig11_block_size fig12_tail_latency fig13_buffer_size
+  fig14_overall table3_profiling table4_block_breakdown table5_hybrid_blocks
+  ablation_alex_layout ablation_fiting_error ablation_storage_reuse
+)
+
+for b in "${binaries[@]}"; do
+  exe="$BUILD_DIR/bench/$b"
+  if [[ ! -x "$exe" ]]; then
+    echo "skip $b (not built)" >&2
+    continue
+  fi
+  echo "== $b =="
+  "$exe" "$@" | tee "$OUT_DIR/$b.txt"
+  echo
+done
+
+echo "results written to $OUT_DIR/"

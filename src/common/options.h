@@ -14,74 +14,108 @@ enum class AlexLayout {
 };
 
 /// Shared configuration for every index in the library. Defaults follow the
-/// paper's experimental setup (Section 5.3).
+/// paper's experimental setup (Section 5.3). Each field documents its unit,
+/// default, and which index families consume it.
 struct IndexOptions {
-  /// Disk block size in bytes. The paper fixes 4 KB except in the block-size
-  /// study (Section 6.4), which sweeps 1 KB - 16 KB. Must be a power of two
-  /// and >= 512.
+  /// Disk block size. Unit: bytes; default 4096; consumed by every index
+  /// family (it is the allocation and I/O granularity of all paged files).
+  /// The paper fixes 4 KB except in the block-size study (Section 6.4),
+  /// which sweeps 1 KB - 16 KB. Must be a power of two and >= 512.
   std::size_t block_size = 4096;
 
-  /// Buffer-pool capacity in blocks, per file. The paper's default setting
-  /// has no buffer management except reusing the last fetched block
-  /// (Section 6.5), i.e. capacity 1. The buffer study (Figure 13) sweeps this.
+  /// Buffer-pool capacity, per file. Unit: blocks; default 1; consumed by
+  /// every index family via PagedFile. The paper's default setting has no
+  /// buffer management except reusing the last fetched block (Section 6.5),
+  /// i.e. capacity 1. The buffer study (Figure 13) sweeps this.
   std::size_t buffer_pool_blocks = 1;
 
-  /// When true, inner-node files are pinned in main memory and their I/O is
-  /// excluded from disk statistics -- the "hybrid case" of Section 6.2.
+  /// Unit: flag; default false; consumed by every index family. When true,
+  /// inner-node files are pinned in main memory and their I/O is excluded
+  /// from disk statistics -- the "hybrid case" of Section 6.2.
   bool memory_resident_inner = false;
 
-  /// When true, freed blocks may be recycled by later allocations. The paper
-  /// does not reclaim invalid disk space (Section 6.3); kept as an ablation.
+  /// Unit: flag; default false; consumed by every index family's file
+  /// allocator. When true, freed blocks may be recycled by later
+  /// allocations. The paper does not reclaim invalid disk space
+  /// (Section 6.3); kept as an ablation (ablation_storage_reuse).
   bool reuse_freed_space = false;
 
-  /// When non-empty, index files are real files created in this directory
-  /// (FileBlockDevice). Empty (default) uses the in-RAM simulated disk with
+  /// Unit: filesystem path; default "" (empty); consumed by every index
+  /// family. When non-empty, index files are real files created in this
+  /// directory (FileBlockDevice). Empty uses the in-RAM simulated disk with
   /// exact I/O accounting, which backs all benchmarks.
   std::string storage_dir;
 
   // --- B+-tree ----------------------------------------------------------
-  /// Leaf/inner fill fraction used during bulkload. 0.8 reproduces the
-  /// paper's 980,393 leaves for 200M keys in 4 KB blocks (Table 3).
+  /// Leaf/inner fill fraction used during bulkload. Unit: fraction in
+  /// (0, 1]; default 0.8; consumed by the B+-tree and by the FITing-tree
+  /// (its directory and segment fill); the hybrids' B+-tree-styled leaves
+  /// use hybrid_leaf_fill below instead. 0.8 reproduces the paper's 980,393
+  /// leaves for 200M keys in 4 KB blocks (Table 3).
   double btree_fill_factor = 0.8;
 
   // --- FITing-tree ------------------------------------------------------
-  /// Maximum prediction error of a segment's linear model (paper default 64).
+  /// Maximum prediction error of a segment's linear model. Unit: records
+  /// (slots of offset error); default 64 (the paper's pick, Section 5.3);
+  /// consumed by the FITing-tree and hybrid-fiting.
   std::uint32_t fiting_error_bound = 64;
-  /// Delta-insert buffer capacity per segment, in records (paper default 256).
+  /// Delta-insert buffer capacity per segment. Unit: records; default 256
+  /// (paper default); consumed by the FITing-tree only (hybrid-fiting's
+  /// B+-tree-styled leaves have no delta buffers).
   std::uint32_t fiting_buffer_capacity = 256;
 
   // --- PGM --------------------------------------------------------------
-  /// Leaf-level error bound (paper default 64).
+  /// Leaf-level error bound. Unit: records; default 64 (paper default);
+  /// consumed by DynamicPGM and hybrid-pgm.
   std::uint32_t pgm_error_bound = 64;
-  /// Error bound of recursive (inner) levels.
+  /// Error bound of recursive (inner) levels. Unit: records; default 16;
+  /// consumed by DynamicPGM and by both PLA-based hybrids (hybrid-pgm and
+  /// hybrid-fiting build their inner structure as a recursive PGM).
   std::uint32_t pgm_inner_error_bound = 16;
-  /// Capacity of the LSM insert buffer in records. The paper observed a
-  /// sorted array of 585 records (~3 blocks at 4 KB), Section 6.1.3.
+  /// Capacity of the LSM insert buffer. Unit: records; default 585 -- the
+  /// paper observed a sorted array of 585 records (~3 blocks at 4 KB),
+  /// Section 6.1.3; consumed by DynamicPGM only (hybrid-pgm's inner is a
+  /// static PGM with no insert buffer).
   std::uint32_t pgm_insert_buffer_records = 585;
 
   // --- ALEX -------------------------------------------------------------
+  /// On-disk layout variant (Section 4.1). Default kSplitFiles (Layout#2,
+  /// the paper's pick); consumed by ALEX only ("alex-l1" selects
+  /// kSingleFile via the factory).
   AlexLayout alex_layout = AlexLayout::kSplitFiles;
-  /// Upper bound on a data node's slot count. The original ALEX allows data
-  /// nodes up to 16 MB; scaled default keeps SMOs frequent at bench scale.
+  /// Upper bound on a data node's slot count. Unit: slots (records);
+  /// default 65536; consumed by ALEX only (hybrid-alex's inner is a fence
+  /// array plus root model, not ALEX nodes). The original ALEX allows data
+  /// nodes up to 16 MB; the scaled default keeps SMOs frequent at bench
+  /// scale (BenchOptions() lowers it further to 4096).
   std::uint32_t alex_max_data_node_slots = 1 << 16;
-  /// Initial gapped-array density after bulkload/retrain (original: 0.7).
+  /// Initial gapped-array density after bulkload/retrain. Unit: fraction in
+  /// (0, 1); default 0.7 (original ALEX); consumed by ALEX only.
   double alex_initial_density = 0.7;
-  /// Density that triggers an SMO (original ALEX upper density limit 0.8).
+  /// Density that triggers an SMO. Unit: fraction in (0, 1]; default 0.8
+  /// (original ALEX upper density limit); consumed by ALEX only.
   double alex_max_density = 0.8;
-  /// Maximum fanout of an inner node (power of two).
+  /// Maximum fanout of an inner node. Unit: child pointers (power of two);
+  /// default 1024; consumed by ALEX only.
   std::uint32_t alex_max_fanout = 1 << 10;
 
   // --- LIPP -------------------------------------------------------------
-  /// Node-size multipliers by key count, per the paper's O11: < 100k keys ->
-  /// 5x slots, [100k, 1M) -> 2x, >= 1M -> 1x.
+  /// Node-size multipliers by key count, per the paper's O11: below
+  /// lipp_small_node_limit keys -> 5x slots, below lipp_medium_node_limit
+  /// -> 2x, at or above it -> 1x. Unit: keys; defaults 100,000 and
+  /// 1,000,000; consumed by LIPP only (hybrid-lipp's inner is not built
+  /// from LIPP nodes).
   std::uint32_t lipp_small_node_limit = 100'000;
   std::uint32_t lipp_medium_node_limit = 1'000'000;
-  /// Subtree rebuild trigger: rebuild when conflict inserts exceed this
-  /// fraction of slots used (LIPP uses ~1/10).
+  /// Subtree rebuild trigger: rebuild when conflict inserts reach this
+  /// fraction of the node's total inserts. Unit: fraction in (0, 1];
+  /// default 0.1 (LIPP uses ~1/10); consumed by LIPP only.
   double lipp_rebuild_conflict_ratio = 0.1;
 
   // --- Hybrid (Section 6.1.2) -------------------------------------------
-  /// Fill fraction of the B+-tree-styled leaf blocks under a learned inner.
+  /// Fill fraction of the B+-tree-styled leaf blocks under a learned inner
+  /// structure. Unit: fraction in (0, 1]; default 0.8 (mirrors
+  /// btree_fill_factor); consumed by all four hybrid-* indexes.
   double hybrid_leaf_fill = 0.8;
 };
 

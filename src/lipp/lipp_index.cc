@@ -72,7 +72,8 @@ Status LippIndex::UpdatePathStats(const std::vector<PathEntry>& path, bool confl
     LIOD_RETURN_IF_ERROR(file_->WriteBytes(off, sizeof(header),
                                            reinterpret_cast<const std::byte*>(&header)));
     if (!*rebuild && header.size >= 64 && header.size >= header.build_size * 4 &&
-        header.num_insert_to_data * 10 >= header.num_inserts) {
+        static_cast<double>(header.num_insert_to_data) >=
+            options_.lipp_rebuild_conflict_ratio * static_cast<double>(header.num_inserts)) {
       *rebuild = true;
       *rebuild_depth = d;
     }

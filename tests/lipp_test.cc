@@ -126,6 +126,29 @@ TEST(Lipp, HeavyInsertsTriggerRebuild) {
   EXPECT_TRUE(index.CheckInvariants().ok());
 }
 
+TEST(Lipp, RebuildConflictRatioIsHonored) {
+  // A permissive ratio (1.0: rebuild only when every insert conflicts) must
+  // trigger no more rebuilds than the default 0.1, and a heavy conflict
+  // workload that rebuilds at the default must not rebuild at 1.0.
+  const auto keys = UniformKeys(500, 7);
+  auto run = [&](double ratio) {
+    IndexOptions o = LippOpts();
+    o.lipp_rebuild_conflict_ratio = ratio;
+    LippIndex index(o);
+    EXPECT_TRUE(index.Bulkload(ToRecords(keys)).ok());
+    Rng rng(8);
+    for (int i = 0; i < 8000; ++i) {
+      EXPECT_TRUE(index.Insert(1 + rng.NextBounded(1ULL << 40), 3).ok());
+    }
+    EXPECT_TRUE(index.CheckInvariants().ok());
+    return index.rebuild_smo_count();
+  };
+  const auto at_default = run(0.1);
+  const auto at_permissive = run(1.0);
+  EXPECT_GT(at_default, 0u);
+  EXPECT_LT(at_permissive, at_default);
+}
+
 TEST(Lipp, ScanInOrder) {
   const auto keys = ClusteredKeys(10000, 9);
   LippIndex index(LippOpts());
