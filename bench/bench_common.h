@@ -16,6 +16,20 @@
 
 namespace liod::bench {
 
+/// Splits a comma-separated flag value ("a,b,c") into tokens, skipping empty
+/// segments.
+inline std::vector<std::string> SplitList(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > pos) out.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 /// Shared benchmark configuration. Defaults are scaled down from the paper's
 /// setup (200M-key search sets, 10M-op write sets) so every binary completes
 /// in well under a minute; pass --search-keys / --write-ops etc. to scale up
@@ -52,14 +66,7 @@ struct BenchArgs {
       } else if (a == "--seed") {
         args.seed = std::strtoull(next(), nullptr, 10);
       } else if (a == "--datasets") {
-        args.datasets.clear();
-        std::string list = next();
-        std::size_t pos = 0;
-        while (pos != std::string::npos) {
-          const std::size_t comma = list.find(',', pos);
-          args.datasets.push_back(list.substr(pos, comma - pos));
-          pos = comma == std::string::npos ? comma : comma + 1;
-        }
+        args.datasets = SplitList(next());
       } else if (a == "--help" || a == "-h") {
         std::printf(
             "flags: --search-keys N --search-ops N --write-bulk N --write-ops N"

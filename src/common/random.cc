@@ -15,6 +15,14 @@ std::uint64_t SplitMix64(std::uint64_t& x) {
 }
 }  // namespace
 
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream) {
+  // SplitMix64 state advances by a fixed gamma per draw, so the stream-th
+  // output is one finalization of base + stream * gamma (SplitMix64 itself
+  // adds one more gamma before finalizing).
+  std::uint64_t x = base + stream * 0x9E3779B97F4A7C15ULL;
+  return SplitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   s0_ = SplitMix64(x);
@@ -68,8 +76,21 @@ double Zeta(std::uint64_t n, double theta) {
 }
 }  // namespace
 
+ZipfGenerator::ZipfGenerator(const ZipfGenerator& proto, std::uint64_t seed)
+    : n_(proto.n_),
+      theta_(proto.theta_),
+      alpha_(proto.alpha_),
+      zetan_(proto.zetan_),
+      eta_(proto.eta_),
+      rng_(seed) {}
+
 ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
+  if (theta_ == 0.0) {
+    // Uniform: Next() shortcuts to NextBounded, so skip the zeta summation.
+    alpha_ = zetan_ = eta_ = 0.0;
+    return;
+  }
   // Cap the zeta summation; beyond ~10M terms the tail is negligible for the
   // theta range used by workloads (<= 1.2) relative to generation noise.
   const std::uint64_t zeta_n = n_ > 10'000'000 ? 10'000'000 : n_;

@@ -6,6 +6,13 @@
 
 namespace liod {
 
+/// Derives the `stream`-th seed of a family rooted at `base` (the output of a
+/// SplitMix64 sequence seeded at `base`, advanced `stream + 1` steps). A pure
+/// function of (base, stream): the same pair always yields the same seed, and
+/// distinct streams yield statistically independent seeds. Used to give every
+/// worker thread / shard its own deterministic random stream.
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream);
+
 /// Deterministic, seedable xorshift128+ generator. Used everywhere instead of
 /// std::mt19937 so that dataset and workload generation is stable across
 /// standard-library implementations.
@@ -38,6 +45,11 @@ class Rng {
 class ZipfGenerator {
  public:
   ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  /// Copies `proto`'s distribution constants (same n, theta) but draws from a
+  /// fresh stream seeded by `seed` -- avoids recomputing the O(min(n, 10M))
+  /// zeta sum once per consumer.
+  ZipfGenerator(const ZipfGenerator& proto, std::uint64_t seed);
 
   std::uint64_t Next();
 

@@ -33,6 +33,8 @@ struct IndexStats {
 /// the hybrid designs (Section 6.1.2).
 ///
 /// Concurrency: instances are single-threaded, matching the paper's setup.
+/// Multi-threaded service is layered on top by engine/sharded_engine.h, which
+/// key-range-partitions a dataset across many single-threaded instances.
 /// Duplicate policy: Insert of an existing key updates its payload.
 class DiskIndex {
  public:

@@ -1,0 +1,148 @@
+#include "engine/concurrent_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace liod {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
+      .count();
+}
+
+Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
+               std::size_t scan_length, const ConcurrentRunnerConfig& config,
+               ThreadRunResult* out) {
+  if (config.record_samples) out->samples.reserve(ops.size());
+  std::vector<Record> scan_out;
+  const auto tape_start = std::chrono::steady_clock::now();
+  for (const WorkloadOp& op : ops) {
+    IoStatsSnapshot delta;
+    std::chrono::steady_clock::time_point op_start;
+    if (config.record_samples) op_start = std::chrono::steady_clock::now();
+    switch (op.kind) {
+      case WorkloadOp::Kind::kLookup: {
+        Payload payload = 0;
+        bool found = false;
+        LIOD_RETURN_IF_ERROR(engine->Lookup(op.key, &payload, &found, &delta));
+        if (config.check_lookups && !found) {
+          return Status::Corruption("concurrent lookup missed key " + std::to_string(op.key));
+        }
+        break;
+      }
+      case WorkloadOp::Kind::kInsert:
+        LIOD_RETURN_IF_ERROR(engine->Insert(op.key, op.payload, &delta));
+        break;
+      case WorkloadOp::Kind::kScan:
+        LIOD_RETURN_IF_ERROR(engine->Scan(op.key, scan_length, &scan_out, &delta));
+        break;
+      case WorkloadOp::Kind::kReadModifyWrite: {
+        bool found = false;
+        LIOD_RETURN_IF_ERROR(engine->ReadModifyWrite(op.key, op.payload, &found, &delta));
+        if (config.check_lookups && !found) {
+          return Status::Corruption("concurrent RMW missed key " + std::to_string(op.key));
+        }
+        break;
+      }
+    }
+    out->io += delta;
+    ++out->operations;
+    if (config.record_samples) {
+      OpSample sample;
+      sample.cpu_us = static_cast<float>(ElapsedUs(op_start));
+      sample.reads = static_cast<std::uint32_t>(delta.TotalReads());
+      sample.writes = static_cast<std::uint32_t>(delta.TotalWrites());
+      out->samples.push_back(sample);
+    }
+  }
+  out->cpu_us = ElapsedUs(tape_start);
+  return Status::Ok();
+}
+
+}  // namespace
+
+double ConcurrentRunResult::MakespanUs(const DiskModel& model) const {
+  double makespan = 0.0;
+  for (const ThreadRunResult& t : threads) makespan = std::max(makespan, t.MakespanUs(model));
+  for (const IoStatsSnapshot& s : shard_io) makespan = std::max(makespan, model.IoMicros(s));
+  return makespan;
+}
+
+double ConcurrentRunResult::ThroughputOps(const DiskModel& model) const {
+  const double makespan_us = MakespanUs(model);
+  if (operations == 0 || makespan_us <= 0.0) return 0.0;
+  return static_cast<double>(operations) / (makespan_us / 1e6);
+}
+
+double ConcurrentRunResult::AvgBlocksReadPerOp() const {
+  return operations == 0 ? 0.0
+                         : static_cast<double>(io.TotalReads()) /
+                               static_cast<double>(operations);
+}
+
+double ConcurrentRunResult::LatencyPercentileUs(double q, const DiskModel& model) const {
+  std::vector<double> latencies;
+  for (const ThreadRunResult& t : threads) {
+    for (const OpSample& s : t.samples) {
+      latencies.push_back(RunResult::SampleLatencyUs(s, model));
+    }
+  }
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t idx =
+      std::min(latencies.size() - 1, static_cast<std::size_t>(q * latencies.size()));
+  return latencies[idx];
+}
+
+Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& workload,
+                             const ConcurrentRunnerConfig& config,
+                             ConcurrentRunResult* result) {
+  *result = ConcurrentRunResult{};
+
+  // --- bulkload phase -------------------------------------------------------
+  const auto bulk_start = std::chrono::steady_clock::now();
+  LIOD_RETURN_IF_ERROR(engine->Bulkload(workload.bulk));
+  result->bulkload_cpu_us = ElapsedUs(bulk_start);
+  result->bulkload_io = engine->MergedIo();
+  if (config.drop_caches_after_bulkload) engine->DropCaches();
+
+  // --- measured op phase ----------------------------------------------------
+  const IoStatsSnapshot before_ops = engine->MergedIo();
+  const std::vector<IoStatsSnapshot> shard_before = engine->PerShardIo();
+  const std::size_t num_threads = workload.thread_ops.size();
+  result->threads.resize(num_threads);
+  std::vector<Status> statuses(num_threads);
+  const auto ops_start = std::chrono::steady_clock::now();
+  if (num_threads == 1) {
+    statuses[0] = RunTape(engine, workload.thread_ops[0], workload.scan_length, config,
+                          &result->threads[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        statuses[t] = RunTape(engine, workload.thread_ops[t], workload.scan_length, config,
+                              &result->threads[t]);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  result->wall_us = ElapsedUs(ops_start);
+  for (const Status& status : statuses) LIOD_RETURN_IF_ERROR(status);
+
+  result->io = engine->MergedIo() - before_ops;
+  const std::vector<IoStatsSnapshot> shard_after = engine->PerShardIo();
+  result->shard_io.reserve(shard_after.size());
+  for (std::size_t s = 0; s < shard_after.size(); ++s) {
+    result->shard_io.push_back(shard_after[s] - shard_before[s]);
+  }
+  for (const ThreadRunResult& t : result->threads) result->operations += t.operations;
+  result->stats_after = engine->MergedStats();
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -1,0 +1,69 @@
+#ifndef LIOD_ENGINE_CONCURRENT_RUNNER_H_
+#define LIOD_ENGINE_CONCURRENT_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sharded_engine.h"
+#include "storage/disk_model.h"
+#include "workload/runner.h"
+#include "workload/workloads.h"
+
+namespace liod {
+
+/// Result of one thread's op tape.
+struct ThreadRunResult {
+  std::uint64_t operations = 0;
+  double cpu_us = 0.0;  ///< wall-clock of the tape loop (includes lock waits)
+  IoStatsSnapshot io;   ///< exact block I/O attributed to this thread's ops
+  std::vector<OpSample> samples;  ///< per-op, when requested
+
+  /// Modeled completion time of this thread: CPU plus its I/O serialized
+  /// against the modeled device.
+  double MakespanUs(const DiskModel& model) const { return cpu_us + model.IoMicros(io); }
+};
+
+/// Result of executing one ConcurrentWorkload against one ShardedEngine.
+struct ConcurrentRunResult {
+  std::uint64_t operations = 0;  ///< total across threads
+  double bulkload_cpu_us = 0.0;
+  IoStatsSnapshot bulkload_io;
+  IoStatsSnapshot io;      ///< op-phase I/O merged across all shards (exact)
+  double wall_us = 0.0;    ///< measured wall-clock of the op phase
+  IndexStats stats_after;  ///< merged shard stats at the end
+  std::vector<ThreadRunResult> threads;
+  std::vector<IoStatsSnapshot> shard_io;  ///< op-phase I/O per shard
+
+  /// Modeled makespan of the run. Threads execute in parallel, so the run
+  /// cannot finish before the slowest thread -- but each shard's mutex
+  /// serializes that shard's device, so it also cannot finish before the
+  /// busiest shard has drained its I/O. The makespan is the max of both
+  /// bounds, which is what makes 1-shard/N-thread configurations (correctly)
+  /// not scale their modeled I/O.
+  double MakespanUs(const DiskModel& model) const;
+  /// Modeled throughput in operations/second: operations / makespan.
+  double ThroughputOps(const DiskModel& model) const;
+  double AvgBlocksReadPerOp() const;
+  /// p-quantile (e.g. 0.99) of modeled per-op latency over every thread's
+  /// samples. Requires record_samples.
+  double LatencyPercentileUs(double q, const DiskModel& model) const;
+};
+
+struct ConcurrentRunnerConfig {
+  bool record_samples = false;  ///< keep per-op samples (tail-latency study)
+  bool drop_caches_after_bulkload = true;
+  bool check_lookups = false;  ///< fail if a lookup or RMW misses its key
+};
+
+/// Bulkloads `workload.bulk` into the engine, then executes every thread tape
+/// concurrently, one std::thread per tape. Tapes from BuildConcurrentWorkload
+/// only look up keys they know are live, so check_lookups is safe under any
+/// interleaving. Returns the first per-thread error, if any.
+Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& workload,
+                             const ConcurrentRunnerConfig& config,
+                             ConcurrentRunResult* result);
+
+}  // namespace liod
+
+#endif  // LIOD_ENGINE_CONCURRENT_RUNNER_H_

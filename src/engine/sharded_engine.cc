@@ -1,0 +1,189 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/index_factory.h"
+
+namespace liod {
+
+ShardedEngine::ShardedEngine(const EngineOptions& options) : options_(options) {}
+
+ShardedEngine::~ShardedEngine() = default;
+
+Status ShardedEngine::CheckReady() const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine: Bulkload has not been called");
+  }
+  return Status::Ok();
+}
+
+std::size_t ShardedEngine::ShardFor(Key key) const {
+  // lower_bounds_ is sorted and starts at kMinKey, so the owning shard is the
+  // last bound <= key.
+  const auto it = std::upper_bound(lower_bounds_.begin(), lower_bounds_.end(), key);
+  return static_cast<std::size_t>(it - lower_bounds_.begin()) - 1;
+}
+
+Status ShardedEngine::Bulkload(std::span<const Record> records) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine: Bulkload already called");
+  }
+  // Validate sortedness up front: each shard only validates its own slice,
+  // which would miss a violation straddling a cut point -- and unsorted input
+  // would silently break key routing.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].key <= records[i - 1].key) {
+      return Status::InvalidArgument(
+          "bulkload input must be sorted by strictly increasing key (violation at index " +
+          std::to_string(i) + ")");
+    }
+  }
+
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min(options_.num_shards, std::max<std::size_t>(records.size(), 1)));
+
+  // Equal-count cut points over the sorted bulkload set; shard i owns keys in
+  // [records[cuts[i]].key, records[cuts[i+1]].key).
+  std::vector<std::size_t> cuts(num_shards + 1);
+  for (std::size_t i = 0; i <= num_shards; ++i) cuts[i] = i * records.size() / num_shards;
+  lower_bounds_.assign(1, kMinKey);
+  for (std::size_t i = 1; i < num_shards; ++i) {
+    lower_bounds_.push_back(records[cuts[i]].key);
+  }
+
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = MakeIndex(options_.index_name, options_.index);
+    if (shard->index == nullptr) {
+      shards_.clear();
+      lower_bounds_.clear();
+      return Status::InvalidArgument("ShardedEngine: unknown index '" + options_.index_name +
+                                     "'");
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  // Shards are fully independent (own files, own I/O counters): bulkload them
+  // in parallel.
+  std::vector<Status> statuses(num_shards);
+  auto load_shard = [&](std::size_t i) {
+    statuses[i] = shards_[i]->index->Bulkload(records.subspan(cuts[i], cuts[i + 1] - cuts[i]));
+  };
+  if (num_shards == 1) {
+    load_shard(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) workers.emplace_back(load_shard, i);
+    for (auto& w : workers) w.join();
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      // Do not leave a half-loaded engine looking ready.
+      shards_.clear();
+      lower_bounds_.clear();
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::Lookup(Key key, Payload* payload, bool* found, IoStatsSnapshot* io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+  const Status status = shard.index->Lookup(key, payload, found);
+  if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+  return status;
+}
+
+Status ShardedEngine::Insert(Key key, Payload payload, IoStatsSnapshot* io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+  const Status status = shard.index->Insert(key, payload);
+  if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+  return status;
+}
+
+Status ShardedEngine::ReadModifyWrite(Key key, Payload payload, bool* found,
+                                      IoStatsSnapshot* io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+  Payload current = 0;
+  Status status = shard.index->Lookup(key, &current, found);
+  if (status.ok()) status = shard.index->Insert(key, payload);
+  if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+  return status;
+}
+
+Status ShardedEngine::Scan(Key start_key, std::size_t count, std::vector<Record>* out,
+                           IoStatsSnapshot* io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  out->clear();
+  std::vector<Record> part;
+  Key cursor = start_key;
+  // Shards are visited in increasing order and locked one at a time, so
+  // concurrent cross-shard scans cannot deadlock with each other or with
+  // point operations.
+  for (std::size_t s = ShardFor(start_key); s < shards_.size() && out->size() < count; ++s) {
+    if (cursor < lower_bounds_[s]) cursor = lower_bounds_[s];
+    Shard& shard = *shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+      const Status status = shard.index->Scan(cursor, count - out->size(), &part);
+      if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+      LIOD_RETURN_IF_ERROR(status);
+    }
+    out->insert(out->end(), part.begin(), part.end());
+  }
+  return Status::Ok();
+}
+
+void ShardedEngine::DropCaches() {
+  for (auto& shard : shards_) shard->index->DropCaches();
+}
+
+IoStatsSnapshot ShardedEngine::MergedIo() const {
+  IoStatsSnapshot merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    merged += shard->index->io_stats().snapshot();
+  }
+  return merged;
+}
+
+std::vector<IoStatsSnapshot> ShardedEngine::PerShardIo() const {
+  std::vector<IoStatsSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->index->io_stats().snapshot());
+  }
+  return out;
+}
+
+IndexStats ShardedEngine::MergedStats() const {
+  IndexStats merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const IndexStats s = shard->index->GetIndexStats();
+    merged.num_records += s.num_records;
+    merged.disk_bytes += s.disk_bytes;
+    merged.inner_bytes += s.inner_bytes;
+    merged.leaf_bytes += s.leaf_bytes;
+    merged.freed_bytes += s.freed_bytes;
+    merged.height = std::max(merged.height, s.height);
+    merged.smo_count += s.smo_count;
+    merged.node_count += s.node_count;
+  }
+  return merged;
+}
+
+}  // namespace liod

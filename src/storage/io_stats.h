@@ -35,6 +35,7 @@ struct IoStatsSnapshot {
 
   IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const;
   IoStatsSnapshot& operator+=(const IoStatsSnapshot& rhs);
+  friend bool operator==(const IoStatsSnapshot&, const IoStatsSnapshot&) = default;
 
   std::string ToString() const;
 };

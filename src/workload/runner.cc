@@ -84,6 +84,16 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
       case WorkloadOp::Kind::kScan:
         LIOD_RETURN_IF_ERROR(index->Scan(op.key, workload.scan_length, &scan_out));
         break;
+      case WorkloadOp::Kind::kReadModifyWrite: {
+        Payload payload = 0;
+        bool found = false;
+        LIOD_RETURN_IF_ERROR(index->Lookup(op.key, &payload, &found));
+        if (config.check_lookups && !found) {
+          return Status::Corruption("workload RMW missed key " + std::to_string(op.key));
+        }
+        LIOD_RETURN_IF_ERROR(index->Insert(op.key, op.payload));
+        break;
+      }
     }
     if (config.record_samples) {
       const IoStatsSnapshot delta = index->io_stats().snapshot() - op_before;

@@ -1,0 +1,73 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace liod {
+namespace {
+
+// --- DeriveSeed -----------------------------------------------------------
+
+TEST(DeriveSeed, DistinctStreamsFromOneBase) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1024; ++stream) {
+    seeds.insert(DeriveSeed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1024u) << "every stream must get its own seed";
+}
+
+TEST(DeriveSeed, DeterministicAcrossRuns) {
+  // A pure function of (base, stream): repeated calls agree, and the values
+  // are pinned so a library change that silently reshuffles every seeded
+  // workload fails loudly here.
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_EQ(DeriveSeed(42, 7), DeriveSeed(42, 7));
+  EXPECT_NE(DeriveSeed(42, 0), DeriveSeed(43, 0));
+  EXPECT_NE(DeriveSeed(42, 0), DeriveSeed(42, 1));
+  EXPECT_EQ(DeriveSeed(0, 0), 0xE220A8397B1DCDAFULL);  // SplitMix64's first output
+}
+
+TEST(DeriveSeed, StreamsYieldDecorrelatedGenerators) {
+  Rng a(DeriveSeed(7, 0));
+  Rng b(DeriveSeed(7, 1));
+  // The two streams must diverge immediately and never run in lockstep.
+  std::size_t equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0u);
+}
+
+// --- ZipfGenerator --------------------------------------------------------
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform) {
+  const std::uint64_t n = 100;
+  ZipfGenerator zipf(n, 0.0, 1);
+  std::vector<std::size_t> counts(n, 0);
+  const std::size_t draws = 100'000;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[zipf.Next()];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_GT(counts[v], draws / n / 2) << "value " << v;
+    EXPECT_LT(counts[v], draws / n * 2) << "value " << v;
+  }
+}
+
+TEST(Zipf, HighThetaSkewsTowardLowRanks) {
+  const std::uint64_t n = 1000;
+  ZipfGenerator zipf(n, 0.99, 2);
+  std::vector<std::size_t> counts(n, 0);
+  const std::size_t draws = 50'000;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[zipf.Next()];
+  // Rank 0 is the hot key: far above uniform share, and the top 10 ranks
+  // together draw a large constant fraction regardless of n.
+  EXPECT_GT(counts[0], draws / 20);
+  std::size_t top10 = 0;
+  for (int v = 0; v < 10; ++v) top10 += counts[v];
+  EXPECT_GT(top10, draws / 4);
+  EXPECT_LT(counts[n - 1], counts[0] / 10);
+}
+
+}  // namespace
+}  // namespace liod

@@ -123,6 +123,36 @@ TEST(BufferPool, LruEvictionOrder) {
   EXPECT_EQ(stats.snapshot().TotalReads(), 4u);
 }
 
+TEST(BufferPool, HitMissAccountingAcrossEvictionBoundary) {
+  // Capacity 2 with an access pattern that forces evict-then-refetch: the
+  // hit/miss counters must stay consistent with the counted device reads.
+  MemoryBlockDevice dev(kBs);
+  ASSERT_TRUE(dev.Grow(3).ok());
+  IoStats stats;
+  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/2);
+  std::vector<std::byte> out(kBs);
+
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss; cache {0}
+  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss; cache {1,0}
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit;  cache {0,1}
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 2u);
+
+  ASSERT_TRUE(pool.ReadBlock(2, out.data()).ok());  // miss; evicts 1
+  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss: 1 must refetch
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 4u);
+
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss: 0 was evicted by 1
+  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 5u);
+
+  // Every miss is a counted device read; hits never touch the device.
+  EXPECT_EQ(stats.snapshot().TotalReads(), pool.misses());
+  EXPECT_EQ(pool.cached_blocks(), 2u);
+}
+
 TEST(BufferPool, WriteThroughCountsEveryWrite) {
   MemoryBlockDevice dev(kBs);
   ASSERT_TRUE(dev.Grow(2).ok());

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -120,6 +121,159 @@ TEST(Workloads, MixedPatternsMatchPaper) {
     for (const auto& op : w.ops) inserts += op.kind == WorkloadOp::Kind::kInsert;
     EXPECT_EQ(inserts, spec.operations * static_cast<std::size_t>(ins) /
                            static_cast<std::size_t>(ins + lks));
+  }
+}
+
+// --- YCSB mixes -------------------------------------------------------------
+
+TEST(Ycsb, NamesRoundTrip) {
+  for (const auto* list : {&AllWorkloadTypes(), &YcsbWorkloadTypes()}) {
+    for (WorkloadType t : *list) {
+      WorkloadType parsed;
+      ASSERT_TRUE(WorkloadTypeFromName(WorkloadTypeName(t), &parsed));
+      EXPECT_EQ(parsed, t);
+    }
+  }
+  WorkloadType parsed;
+  EXPECT_FALSE(WorkloadTypeFromName("ycsb-z", &parsed));
+}
+
+TEST(Ycsb, MixRatiosMatchSpec) {
+  const auto keys = MakeDataset("ycsb", 20000, 5);
+  const auto count_kinds = [&](WorkloadType type) {
+    WorkloadSpec spec;
+    spec.type = type;
+    spec.bulk_keys = 5000;
+    spec.operations = 10000;
+    const auto w = BuildWorkload(keys, spec);
+    std::map<WorkloadOp::Kind, std::size_t> counts;
+    for (const auto& op : w.ops) ++counts[op.kind];
+    return counts;
+  };
+  using Kind = WorkloadOp::Kind;
+
+  auto a = count_kinds(WorkloadType::kYcsbA);  // 50/50 read-update
+  EXPECT_NEAR(static_cast<double>(a[Kind::kInsert]), 5000.0, 500.0);
+  EXPECT_EQ(a[Kind::kLookup] + a[Kind::kInsert], 10000u);
+
+  auto b = count_kinds(WorkloadType::kYcsbB);  // 95/5
+  EXPECT_NEAR(static_cast<double>(b[Kind::kInsert]), 500.0, 200.0);
+
+  auto c = count_kinds(WorkloadType::kYcsbC);  // read-only
+  EXPECT_EQ(c[Kind::kLookup], 10000u);
+
+  auto d = count_kinds(WorkloadType::kYcsbD);  // 95 latest-reads / 5 insert
+  EXPECT_NEAR(static_cast<double>(d[Kind::kInsert]), 500.0, 200.0);
+  EXPECT_EQ(d[Kind::kScan], 0u);
+
+  auto e = count_kinds(WorkloadType::kYcsbE);  // 95 scans / 5 inserts
+  EXPECT_NEAR(static_cast<double>(e[Kind::kScan]), 9500.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(e[Kind::kInsert]), 500.0, 200.0);
+
+  auto f = count_kinds(WorkloadType::kYcsbF);  // 50 reads / 50 RMW
+  EXPECT_NEAR(static_cast<double>(f[Kind::kReadModifyWrite]), 5000.0, 500.0);
+}
+
+TEST(Ycsb, ZipfianSkewsKeyChoice) {
+  const auto keys = MakeDataset("ycsb", 20000, 6);
+  const auto hottest_share = [&](double theta) {
+    WorkloadSpec spec;
+    spec.type = WorkloadType::kYcsbC;
+    spec.operations = 20000;
+    spec.zipf_theta = theta;
+    const auto w = BuildWorkload(keys, spec);
+    std::map<Key, std::size_t> freq;
+    for (const auto& op : w.ops) ++freq[op.key];
+    std::size_t hottest = 0;
+    for (const auto& [k, n] : freq) hottest = std::max(hottest, n);
+    return static_cast<double>(hottest) / static_cast<double>(w.ops.size());
+  };
+  // theta 0.99 concentrates a visible share on the hottest key; uniform
+  // spreads it to ~1/n.
+  EXPECT_GT(hottest_share(0.99), 0.01);
+  EXPECT_LT(hottest_share(0.0), 0.005);
+}
+
+TEST(Ycsb, ReadsOnlyTargetLiveKeys) {
+  // D reads must hit bulk-or-previously-inserted keys; F RMWs target the
+  // loaded set. This is what makes check_lookups safe under concurrency.
+  const auto keys = MakeDataset("fb", 10000, 7);
+  for (WorkloadType type : {WorkloadType::kYcsbD, WorkloadType::kYcsbF}) {
+    WorkloadSpec spec;
+    spec.type = type;
+    spec.bulk_keys = 3000;
+    spec.operations = 4000;
+    const auto w = BuildWorkload(keys, spec);
+    std::set<Key> live;
+    for (const auto& r : w.bulk) live.insert(r.key);
+    for (const auto& op : w.ops) {
+      switch (op.kind) {
+        case WorkloadOp::Kind::kInsert:
+          live.insert(op.key);
+          break;
+        case WorkloadOp::Kind::kLookup:
+        case WorkloadOp::Kind::kReadModifyWrite:
+          ASSERT_TRUE(live.count(op.key))
+              << WorkloadTypeName(type) << " read of non-live key " << op.key;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(Workloads, EmptyBulkSampleStillGeneratesInserts) {
+  // bulk_keys = 0 benchmarks inserts into an empty index; the tape must not
+  // silently collapse to zero operations.
+  const auto keys = MakeDataset("ycsb", 3000, 14);
+  for (WorkloadType type :
+       {WorkloadType::kWriteOnly, WorkloadType::kYcsbD, WorkloadType::kYcsbE}) {
+    WorkloadSpec spec;
+    spec.type = type;
+    spec.bulk_keys = 0;
+    spec.operations = 1500;
+    spec.scan_length = 5;
+    const auto w = BuildWorkload(keys, spec);
+    EXPECT_TRUE(w.bulk.empty());
+    ASSERT_EQ(w.ops.size(), 1500u) << WorkloadTypeName(type);
+    EXPECT_EQ(w.ops.front().kind, WorkloadOp::Kind::kInsert)
+        << WorkloadTypeName(type) << ": nothing is live before the first insert";
+    // Reads may only target keys inserted earlier in the tape.
+    std::set<Key> live;
+    for (const auto& op : w.ops) {
+      if (op.kind == WorkloadOp::Kind::kInsert) {
+        live.insert(op.key);
+      } else if (op.kind == WorkloadOp::Kind::kLookup) {
+        ASSERT_TRUE(live.count(op.key)) << WorkloadTypeName(type);
+      }
+    }
+    auto index = MakeIndex("btree", IndexOptions{});
+    RunnerConfig config;
+    config.check_lookups = true;
+    RunResult result;
+    ASSERT_TRUE(RunWorkload(index.get(), w, config, &result).ok())
+        << WorkloadTypeName(type);
+    EXPECT_GT(result.stats_after.num_records, 0u);
+  }
+}
+
+TEST(Ycsb, AllMixesRunGreenSequentially) {
+  const auto keys = MakeDataset("osm", 12000, 8);
+  for (WorkloadType type : YcsbWorkloadTypes()) {
+    auto index = MakeIndex("btree", IndexOptions{});
+    WorkloadSpec spec;
+    spec.type = type;
+    spec.bulk_keys = 4000;
+    spec.operations = 1500;
+    spec.scan_length = 10;
+    const auto w = BuildWorkload(keys, spec);
+    RunnerConfig config;
+    config.check_lookups = true;
+    RunResult result;
+    ASSERT_TRUE(RunWorkload(index.get(), w, config, &result).ok())
+        << WorkloadTypeName(type);
+    EXPECT_EQ(result.operations, w.ops.size());
   }
 }
 

@@ -6,13 +6,20 @@
 //   liod_cli --index alex --dataset fb --workload balanced
 //            --bulk 100000 --ops 100000 [--block 4096] [--buffer 1]
 //            [--disk hdd|ssd|both] [--csv] [--inner-in-memory]
-//            [--scan-length 100] [--seed 42]
+//            [--scan-length 100] [--seed 42] [--threads 1] [--shards 1]
+//            [--zipf 0.99]
+//
+// With --threads/--shards > 1 execution routes through the ShardedEngine and
+// the multi-threaded ConcurrentRunner; the defaults (1/1) keep the classic
+// single-index sequential path and its exact output format.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/index_factory.h"
+#include "engine/concurrent_runner.h"
+#include "engine/sharded_engine.h"
 #include "workload/datasets.h"
 #include "workload/runner.h"
 
@@ -29,7 +36,10 @@ struct CliArgs {
   std::size_t block = 4096;
   std::size_t buffer = 1;
   std::size_t scan_length = 100;
+  std::size_t threads = 1;
+  std::size_t shards = 1;
   std::uint64_t seed = 42;
+  double zipf_theta = 0.99;
   std::string disk = "both";
   bool csv = false;
   bool inner_in_memory = false;
@@ -43,9 +53,11 @@ void Usage() {
   for (const auto& d : AllDatasetNames()) std::printf(" %s", d.c_str());
   std::printf("\nworkloads:");
   for (WorkloadType t : AllWorkloadTypes()) std::printf(" %s", WorkloadTypeName(t));
+  for (WorkloadType t : YcsbWorkloadTypes()) std::printf(" %s", WorkloadTypeName(t));
   std::printf(
       "\noptions:   --bulk N --ops N --block BYTES --buffer BLOCKS --seed N\n"
-      "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n");
+      "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n"
+      "           --threads N --shards N (engine mode when either > 1) --zipf THETA\n");
 }
 
 bool Parse(int argc, char** argv, CliArgs* args) {
@@ -77,8 +89,14 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->buffer = std::strtoull(v, nullptr, 10);
     } else if (a == "--scan-length") {
       args->scan_length = std::strtoull(v, nullptr, 10);
+    } else if (a == "--threads") {
+      args->threads = std::strtoull(v, nullptr, 10);
+    } else if (a == "--shards") {
+      args->shards = std::strtoull(v, nullptr, 10);
     } else if (a == "--seed") {
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--zipf") {
+      args->zipf_theta = std::strtod(v, nullptr);
     } else if (a == "--disk") {
       args->disk = v;
     } else {
@@ -86,55 +104,28 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       return false;
     }
   }
+  if (args->threads == 0) args->threads = 1;
+  if (args->shards == 0) args->shards = 1;
   return true;
 }
 
-}  // namespace
+std::vector<DiskModel> ParseDisks(const std::string& name) {
+  std::vector<DiskModel> disks;
+  if (name == "hdd" || name == "both") disks.push_back(DiskModel::Hdd());
+  if (name == "ssd" || name == "both") disks.push_back(DiskModel::Ssd());
+  return disks;
+}
 
-int main(int argc, char** argv) {
-  CliArgs args;
-  if (!Parse(argc, argv, &args)) {
-    Usage();
-    return 2;
-  }
-
-  WorkloadType type = WorkloadType::kLookupOnly;
-  bool workload_ok = false;
-  for (WorkloadType t : AllWorkloadTypes()) {
-    if (args.workload == WorkloadTypeName(t)) {
-      type = t;
-      workload_ok = true;
-    }
-  }
-  if (!workload_ok) {
-    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
-    Usage();
-    return 2;
-  }
-
-  IndexOptions options;
-  options.block_size = args.block;
-  options.buffer_pool_blocks = args.buffer;
-  options.memory_resident_inner = args.inner_in_memory;
-  options.alex_max_data_node_slots = 4096;
+/// Classic path: one single-threaded index, the sequential runner, and the
+/// original output format.
+int RunSequential(const CliArgs& args, const IndexOptions& options,
+                  const std::vector<Key>& keys, const WorkloadSpec& spec) {
   auto index = MakeIndex(args.index, options);
   if (index == nullptr) {
     std::fprintf(stderr, "unknown index '%s'\n", args.index.c_str());
     Usage();
     return 2;
   }
-
-  const bool search_only =
-      type == WorkloadType::kLookupOnly || type == WorkloadType::kScanOnly;
-  const std::size_t dataset_keys = search_only ? args.bulk : args.bulk + args.ops;
-  const auto keys = MakeDataset(args.dataset, dataset_keys, args.seed);
-
-  WorkloadSpec spec;
-  spec.type = type;
-  spec.bulk_keys = args.bulk;
-  spec.operations = args.ops;
-  spec.scan_length = args.scan_length;
-  spec.seed = args.seed + 1;
   const Workload w = BuildWorkload(keys, spec);
 
   RunnerConfig config;
@@ -146,15 +137,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<DiskModel> disks;
-  if (args.disk == "hdd" || args.disk == "both") disks.push_back(DiskModel::Hdd());
-  if (args.disk == "ssd" || args.disk == "both") disks.push_back(DiskModel::Ssd());
+  const std::vector<DiskModel> disks = ParseDisks(args.disk);
   if (disks.empty()) {
     std::fprintf(stderr, "unknown disk '%s'\n", args.disk.c_str());
     return 2;
   }
 
   const IndexStats& stats = result.stats_after;
+  const double ops_den =
+      result.operations == 0 ? 1.0 : static_cast<double>(result.operations);
   if (args.csv) {
     std::printf(
         "index,dataset,workload,disk,ops,tput_ops_s,reads_per_op,writes_per_op,"
@@ -165,8 +156,8 @@ int main(int argc, char** argv) {
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
           disk.name.c_str(), static_cast<unsigned long long>(result.operations),
           result.ThroughputOps(disk),
-          static_cast<double>(result.io.TotalReads()) / result.operations,
-          static_cast<double>(result.io.TotalWrites()) / result.operations,
+          static_cast<double>(result.io.TotalReads()) / ops_den,
+          static_cast<double>(result.io.TotalWrites()) / ops_den,
           result.LatencyPercentileUs(0.99, disk), result.LatencyStdDevUs(disk),
           stats.disk_bytes / 1048576.0, stats.freed_bytes / 1048576.0,
           static_cast<unsigned long long>(stats.height),
@@ -179,8 +170,8 @@ int main(int argc, char** argv) {
               args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
               static_cast<unsigned long long>(result.operations), args.bulk);
   std::printf("  blocks/op: %.2f read, %.2f written\n",
-              static_cast<double>(result.io.TotalReads()) / result.operations,
-              static_cast<double>(result.io.TotalWrites()) / result.operations);
+              static_cast<double>(result.io.TotalReads()) / ops_den,
+              static_cast<double>(result.io.TotalWrites()) / ops_den);
   for (const DiskModel& disk : disks) {
     std::printf("  %s: %.1f ops/s, p99 %.2f ms, stddev %.2f ms\n", disk.name.c_str(),
                 result.ThroughputOps(disk), result.LatencyPercentileUs(0.99, disk) / 1e3,
@@ -198,4 +189,111 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.height),
               static_cast<unsigned long long>(stats.smo_count));
   return 0;
+}
+
+/// Engine path: key-range shards + concurrent client threads.
+int RunEngine(const CliArgs& args, const IndexOptions& options,
+              const std::vector<Key>& keys, const WorkloadSpec& spec) {
+  EngineOptions engine_options;
+  engine_options.index_name = args.index;
+  engine_options.num_shards = args.shards;
+  engine_options.index = options;
+  ShardedEngine engine(engine_options);
+
+  const ConcurrentWorkload w = BuildConcurrentWorkload(keys, spec, args.threads);
+
+  ConcurrentRunnerConfig config;
+  config.record_samples = true;
+  ConcurrentRunResult result;
+  const Status status = RunConcurrentWorkload(&engine, w, config, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<DiskModel> disks = ParseDisks(args.disk);
+  if (disks.empty()) {
+    std::fprintf(stderr, "unknown disk '%s'\n", args.disk.c_str());
+    return 2;
+  }
+
+  const IndexStats& stats = result.stats_after;
+  const double ops_den =
+      result.operations == 0 ? 1.0 : static_cast<double>(result.operations);
+  if (args.csv) {
+    std::printf(
+        "index,dataset,workload,threads,shards,disk,ops,tput_ops_s,reads_per_op,"
+        "writes_per_op,p99_us,disk_mib,height,smos\n");
+    for (const DiskModel& disk : disks) {
+      std::printf(
+          "%s,%s,%s,%zu,%zu,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu\n",
+          args.index.c_str(), args.dataset.c_str(), args.workload.c_str(), args.threads,
+          engine.num_shards(), disk.name.c_str(),
+          static_cast<unsigned long long>(result.operations), result.ThroughputOps(disk),
+          static_cast<double>(result.io.TotalReads()) / ops_den,
+          static_cast<double>(result.io.TotalWrites()) / ops_den,
+          result.LatencyPercentileUs(0.99, disk), stats.disk_bytes / 1048576.0,
+          static_cast<unsigned long long>(stats.height),
+          static_cast<unsigned long long>(stats.smo_count));
+    }
+    return 0;
+  }
+
+  std::printf("%s on %s / %s: %llu ops, %zu threads x %zu shards, %zu bulkloaded keys\n",
+              args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
+              static_cast<unsigned long long>(result.operations), args.threads,
+              engine.num_shards(), w.bulk.size());
+  std::printf("  blocks/op: %.2f read, %.2f written\n",
+              static_cast<double>(result.io.TotalReads()) / ops_den,
+              static_cast<double>(result.io.TotalWrites()) / ops_den);
+  for (const DiskModel& disk : disks) {
+    std::printf("  %s: %.1f ops/s (modeled, slowest-thread makespan), p99 %.2f ms\n",
+                disk.name.c_str(), result.ThroughputOps(disk),
+                result.LatencyPercentileUs(0.99, disk) / 1e3);
+  }
+  std::printf("  storage: %.2f MiB total, %.2f MiB invalid; height=%llu; smos=%llu\n",
+              stats.disk_bytes / 1048576.0, stats.freed_bytes / 1048576.0,
+              static_cast<unsigned long long>(stats.height),
+              static_cast<unsigned long long>(stats.smo_count));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!Parse(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  WorkloadType type = WorkloadType::kLookupOnly;
+  if (!WorkloadTypeFromName(args.workload, &type)) {
+    std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
+    Usage();
+    return 2;
+  }
+
+  IndexOptions options;
+  options.block_size = args.block;
+  options.buffer_pool_blocks = args.buffer;
+  options.memory_resident_inner = args.inner_in_memory;
+  options.alex_max_data_node_slots = 4096;
+
+  const std::size_t dataset_keys =
+      WorkloadGrowsDataset(type) ? args.bulk + args.ops : args.bulk;
+  const auto keys = MakeDataset(args.dataset, dataset_keys, args.seed);
+
+  WorkloadSpec spec;
+  spec.type = type;
+  spec.bulk_keys = args.bulk;
+  spec.operations = args.ops;
+  spec.scan_length = args.scan_length;
+  spec.seed = args.seed + 1;
+  spec.zipf_theta = args.zipf_theta;
+
+  if (args.threads == 1 && args.shards == 1) {
+    return RunSequential(args, options, keys, spec);
+  }
+  return RunEngine(args, options, keys, spec);
 }
