@@ -67,10 +67,12 @@ struct BenchArgs {
         args.seed = std::strtoull(next(), nullptr, 10);
       } else if (a == "--datasets") {
         args.datasets = SplitList(next());
+      } else if (a == "--indexes") {
+        args.indexes = SplitList(next());
       } else if (a == "--help" || a == "-h") {
         std::printf(
             "flags: --search-keys N --search-ops N --write-bulk N --write-ops N"
-            " --seed N --datasets a,b,c\n");
+            " --seed N --datasets a,b,c --indexes a,b,c\n");
         std::exit(0);
       }
     }
@@ -99,6 +101,19 @@ inline RunResult MustRun(DiskIndex* index, const Workload& workload,
     std::exit(1);
   }
   return result;
+}
+
+/// Formats the per-class buffer hit rates of one run as CSV cells
+/// "inner,leaf,overall" (3 decimal places), matching kHitRateCsvHeader.
+/// Consumers append these to their CSV rows so policy/budget sweeps never
+/// re-derive rates from raw counters.
+inline constexpr const char* kHitRateCsvHeader = "hit_inner,hit_leaf,hit_overall";
+
+inline std::string HitRateCsv(const IoStatsSnapshot& io) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f,%.3f,%.3f", io.HitRateFor(FileClass::kInner),
+                io.HitRateFor(FileClass::kLeaf), io.OverallHitRate());
+  return buf;
 }
 
 /// ---- tiny fixed-width table printer --------------------------------------

@@ -11,7 +11,7 @@
 #include "segmentation/greedy_segmentation.h"
 #include "segmentation/piecewise_linear.h"
 #include "storage/block_device.h"
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "workload/datasets.h"
 
 namespace liod {
@@ -56,32 +56,35 @@ void BM_Fmcd(benchmark::State& state) {
 }
 BENCHMARK(BM_Fmcd)->Arg(10'000)->Arg(100'000);
 
-void BM_BufferPoolHit(benchmark::State& state) {
+void BM_BufferManagerHit(benchmark::State& state) {
   MemoryBlockDevice dev(4096);
   (void)dev.Grow(16);
   IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, 16);
+  BufferManager manager(BufferManager::Options{});
+  FileHandle* file = manager.RegisterFile(&dev, &stats, FileClass::kLeaf, 16);
   std::vector<std::byte> out(4096);
-  (void)pool.ReadBlock(3, out.data());
+  (void)file->ReadBlock(3, out.data());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.ReadBlock(3, out.data()));
+    benchmark::DoNotOptimize(file->ReadBlock(3, out.data()));
   }
 }
-BENCHMARK(BM_BufferPoolHit);
+BENCHMARK(BM_BufferManagerHit);
 
-void BM_BufferPoolMissChurn(benchmark::State& state) {
+void BM_BufferManagerMissChurn(benchmark::State& state) {
   MemoryBlockDevice dev(4096);
   (void)dev.Grow(64);
   IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, 1);  // paper default: 1 block
+  BufferManager manager(BufferManager::Options{});
+  // Paper default: 1 frame -> every rotation misses and evicts.
+  FileHandle* file = manager.RegisterFile(&dev, &stats, FileClass::kLeaf, 1);
   std::vector<std::byte> out(4096);
   BlockId id = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.ReadBlock(id, out.data()));
+    benchmark::DoNotOptimize(file->ReadBlock(id, out.data()));
     id = (id + 1) & 63;
   }
 }
-BENCHMARK(BM_BufferPoolMissChurn);
+BENCHMARK(BM_BufferManagerMissChurn);
 
 void BM_BTreeDiskLookup(benchmark::State& state) {
   IndexOptions options;

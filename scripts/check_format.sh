@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# clang-format gate over the tracked C++ sources (.clang-format at the root).
+#
+#   scripts/check_format.sh              # check every tracked source
+#   scripts/check_format.sh --fix        # reformat in place
+#   scripts/check_format.sh --diff REF   # check only files changed since REF
+#                                        # (what CI runs on pull requests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=...)" >&2
+  exit 2
+fi
+
+mode="check"
+base=""
+case "${1:-}" in
+  --fix) mode="fix" ;;
+  --diff)
+    mode="check"
+    base="${2:?--diff needs a base ref}"
+    ;;
+  "") ;;
+  *) echo "usage: $0 [--fix | --diff REF]" >&2; exit 2 ;;
+esac
+
+patterns=('src/**/*.h' 'src/**/*.cc' 'tests/*.h' 'tests/*.cc'
+          'bench/*.h' 'bench/*.cc' 'tools/*.cc' 'examples/*.cc')
+if [[ -n "$base" ]]; then
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$base"...HEAD -- \
+    "${patterns[@]}")
+else
+  mapfile -t files < <(git ls-files "${patterns[@]}")
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "clang-format: no files to check"
+  exit 0
+fi
+
+if [[ "$mode" == "fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "reformatted ${#files[@]} files"
+  exit 0
+fi
+
+failed=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    failed=1
+  fi
+done
+if [[ $failed -ne 0 ]]; then
+  echo
+  echo "run scripts/check_format.sh --fix (or clang-format -i) on the files above" >&2
+  exit 1
+fi
+echo "clang-format: ${#files[@]} files clean"

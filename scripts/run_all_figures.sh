@@ -16,7 +16,7 @@ binaries=(
   fig10_storage fig11_block_size fig12_tail_latency fig13_buffer_size
   fig14_overall table3_profiling table4_block_breakdown table5_hybrid_blocks
   ablation_alex_layout ablation_fiting_error ablation_storage_reuse
-  scaling_threads
+  scaling_threads buffer_policy_sweep
 )
 
 for b in "${binaries[@]}"; do
@@ -30,6 +30,10 @@ for b in "${binaries[@]}"; do
   if [[ "$b" == scaling_threads ]]; then
     # Small default sweep; override by passing the binary's own flags.
     extra=(--threads 1,2,4 --shards 1,4 --bulk 60000 --ops 12000)
+  fi
+  if [[ "$b" == buffer_policy_sweep ]]; then
+    # Policy x budget x write-back on the two featured datasets.
+    extra=(--datasets fb,ycsb --write-bulk 60000 --write-ops 30000)
   fi
   "$exe" "${extra[@]}" "$@" | tee "$OUT_DIR/$b.txt"
   echo

@@ -13,6 +13,40 @@ enum class AlexLayout {
   kSplitFiles = 2,  ///< Layout#2: one file per node class (the paper's pick).
 };
 
+/// Eviction policy of the buffer manager (storage/buffer_manager.h). The
+/// paper's buffering study (Section 6.5) only considers LRU; clock and FIFO
+/// are the classic DBMS alternatives exposed as a new scenario axis.
+enum class BufferPolicy {
+  kLru,    ///< exact least-recently-used (the paper's policy)
+  kClock,  ///< second-chance approximation of LRU
+  kFifo,   ///< first-in first-out (no recency tracking)
+};
+
+inline const char* BufferPolicyName(BufferPolicy policy) {
+  switch (policy) {
+    case BufferPolicy::kLru: return "lru";
+    case BufferPolicy::kClock: return "clock";
+    case BufferPolicy::kFifo: return "fifo";
+  }
+  return "unknown";
+}
+
+/// Parses "lru" / "clock" / "fifo". Returns false on an unknown name.
+inline bool BufferPolicyFromName(const std::string& name, BufferPolicy* out) {
+  if (name == "lru") {
+    *out = BufferPolicy::kLru;
+  } else if (name == "clock") {
+    *out = BufferPolicy::kClock;
+  } else if (name == "fifo") {
+    *out = BufferPolicy::kFifo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class BufferManager;  // storage/buffer_manager.h
+
 /// Shared configuration for every index in the library. Defaults follow the
 /// paper's experimental setup (Section 5.3). Each field documents its unit,
 /// default, and which index families consume it.
@@ -23,11 +57,41 @@ struct IndexOptions {
   /// which sweeps 1 KB - 16 KB. Must be a power of two and >= 512.
   std::size_t block_size = 4096;
 
-  /// Buffer-pool capacity, per file. Unit: blocks; default 1; consumed by
-  /// every index family via PagedFile. The paper's default setting has no
-  /// buffer management except reusing the last fetched block (Section 6.5),
-  /// i.e. capacity 1. The buffer study (Figure 13) sweeps this.
+  /// Buffer budget, per file. Unit: blocks (frames); default 1; consumed by
+  /// every index family via PagedFile/BufferManager. The paper's default
+  /// setting has no buffer management except reusing the last fetched block
+  /// (Section 6.5), i.e. capacity 1. The buffer study (Figure 13) sweeps
+  /// this. Ignored for a file when shared_buffer_budget_blocks > 0 (the file
+  /// then draws from the shared pool). 0 is invalid and rejected with
+  /// kInvalidArgument on first buffer access.
   std::size_t buffer_pool_blocks = 1;
+
+  /// Shared buffer budget across ALL files of the index (and, when
+  /// EngineOptions::share_buffers_across_shards is set, all shards). Unit:
+  /// blocks (frames); default 0 = disabled, i.e. the paper's per-file budgets
+  /// above. When > 0, every counted file draws frames from one pool of this
+  /// size -- the real-DBMS buffer-pool configuration the paper stops short
+  /// of. Consumed by DiskIndex::MakeFile via BufferManager.
+  std::size_t shared_buffer_budget_blocks = 0;
+
+  /// Eviction policy of every buffer pool (per-file and shared). Default
+  /// kLru, the paper's policy; clock/fifo open the policy axis of
+  /// bench/buffer_policy_sweep. Consumed via BufferManager.
+  BufferPolicy buffer_policy = BufferPolicy::kLru;
+
+  /// Unit: flag; default false (the paper's write-through accounting: every
+  /// logical block write is a counted device write). When true, writes only
+  /// dirty the cached frame and the device write is paid (and counted) on
+  /// eviction or flush -- the write-back mode of a real buffer pool.
+  /// Consumed via BufferManager; the workload runners flush at the end of
+  /// each measured window so deferred writes are attributed to it.
+  bool buffer_write_back = false;
+
+  /// Non-owning escape hatch: when set, the index registers its files with
+  /// this externally owned manager instead of creating its own -- how
+  /// ShardedEngine spans one budget across shards. The manager must outlive
+  /// the index. Default nullptr; consumed by DiskIndex.
+  BufferManager* shared_buffer_manager = nullptr;
 
   /// Unit: flag; default false; consumed by every index family. When true,
   /// inner-node files are pinned in main memory and their I/O is excluded

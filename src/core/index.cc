@@ -12,7 +12,15 @@ namespace {
 std::atomic<std::uint64_t> g_file_counter{0};
 }  // namespace
 
-DiskIndex::DiskIndex(const IndexOptions& options) : options_(options) {}
+DiskIndex::DiskIndex(const IndexOptions& options) : options_(options) {
+  if (options_.shared_buffer_manager != nullptr) {
+    buffer_manager_ = options_.shared_buffer_manager;
+  } else {
+    owned_buffer_manager_ =
+        std::make_unique<BufferManager>(BufferManagerOptionsFrom(options_));
+    buffer_manager_ = owned_buffer_manager_.get();
+  }
+}
 
 std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
   PagedFileOptions file_options;
@@ -36,16 +44,28 @@ std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
             "DiskIndex::MakeFile");
     device = std::move(file_device);
   }
-  auto file = std::make_unique<PagedFile>(std::move(device), &io_stats_, klass, file_options);
+  auto file = std::make_unique<PagedFile>(std::move(device), buffer_manager_, &io_stats_,
+                                          klass, file_options);
   files_.push_back(file.get());
   return file;
 }
 
-void DiskIndex::DropCaches() {
-  for (PagedFile* file : files_) file->pool().Clear();
+Status DiskIndex::DropCaches() {
+  for (PagedFile* file : files_) {
+    LIOD_RETURN_IF_ERROR(file->DropCaches());
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::FlushBuffers() {
+  for (PagedFile* file : files_) {
+    LIOD_RETURN_IF_ERROR(file->Flush());
+  }
+  return Status::Ok();
 }
 
 void DiskIndex::RemoveFile(PagedFile* file) {
+  file->MarkDeleted();
   std::erase(files_, file);
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/op_breakdown.h"
+#include "storage/buffer_manager.h"
 #include "storage/io_stats.h"
 #include "storage/paged_file.h"
 
@@ -69,19 +70,33 @@ class DiskIndex {
   const IoStats& io_stats() const { return io_stats_; }
   OpBreakdown& breakdown() { return breakdown_; }
 
-  /// Empties every buffer pool of the index (all frames are clean, so this
-  /// performs no I/O). Benchmarks call this after bulkload so measurements
-  /// start cold, as in the paper's no-buffer default.
-  void DropCaches();
+  /// Empties every buffer frame of the index, writing back dirty frames
+  /// first (a no-op under write-through, where every frame is clean).
+  /// Benchmarks call this after bulkload so measurements start cold, as in
+  /// the paper's no-buffer default. Returns the first flush error, if any.
+  Status DropCaches();
+
+  /// Writes back every dirty frame of every file without dropping it. The
+  /// workload runners call this at the end of each measured window so
+  /// write-back I/O is attributed to the window that deferred it. No-op
+  /// under write-through.
+  Status FlushBuffers();
+
+  /// The manager all of this index's files are registered with: its own by
+  /// default, or IndexOptions::shared_buffer_manager when injected (e.g. one
+  /// budget spanning every shard of a ShardedEngine).
+  BufferManager& buffer_manager() { return *buffer_manager_; }
 
  protected:
   /// Creates a paged file of the given class honoring the shared options:
-  /// buffer-pool capacity, freed-space reuse, and the Section 6.2
-  /// memory-resident-inner mode (inner/meta files stop counting I/O).
+  /// buffer budget (per-file or shared), eviction policy, write-back,
+  /// freed-space reuse, and the Section 6.2 memory-resident-inner mode
+  /// (inner/meta files stop counting I/O and pin unbounded).
   std::unique_ptr<PagedFile> MakeFile(FileClass klass);
 
   /// Unregisters a file that the index is about to destroy (e.g. PGM deletes
-  /// a merged level's file from disk, Section 6.3).
+  /// a merged level's file from disk, Section 6.3). The file's dirty frames
+  /// are discarded, not flushed: it is being deleted.
   void RemoveFile(PagedFile* file);
 
   /// Validates that bulkload input is sorted by strictly increasing key.
@@ -93,6 +108,12 @@ class DiskIndex {
   OpBreakdown breakdown_;
 
  private:
+  /// Owned manager when no external one is injected. Declared before files_
+  /// so any straggler PagedFiles of a misbehaving subclass fail loudly rather
+  /// than silently; in practice subclasses own their files and destroy them
+  /// (unregistering each) before this base class is torn down.
+  std::unique_ptr<BufferManager> owned_buffer_manager_;
+  BufferManager* buffer_manager_ = nullptr;
   std::vector<PagedFile*> files_;  // registry for DropCaches (non-owning)
 };
 

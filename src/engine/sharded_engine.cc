@@ -43,6 +43,17 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
   const std::size_t num_shards = std::max<std::size_t>(
       1, std::min(options_.num_shards, std::max<std::size_t>(records.size(), 1)));
 
+  IndexOptions shard_options = options_.index;
+  if (options_.share_buffers_across_shards &&
+      shard_options.shared_buffer_budget_blocks > 0 &&
+      shard_options.shared_buffer_manager == nullptr) {
+    // One budget spanning all shards: the engine owns the manager and injects
+    // it into every shard's index.
+    shared_buffers_ =
+        std::make_unique<BufferManager>(BufferManagerOptionsFrom(shard_options));
+    shard_options.shared_buffer_manager = shared_buffers_.get();
+  }
+
   // Equal-count cut points over the sorted bulkload set; shard i owns keys in
   // [records[cuts[i]].key, records[cuts[i+1]].key).
   std::vector<std::size_t> cuts(num_shards + 1);
@@ -54,10 +65,11 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
 
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->index = MakeIndex(options_.index_name, options_.index);
+    shard->index = MakeIndex(options_.index_name, shard_options);
     if (shard->index == nullptr) {
       shards_.clear();
       lower_bounds_.clear();
+      shared_buffers_.reset();
       return Status::InvalidArgument("ShardedEngine: unknown index '" + options_.index_name +
                                      "'");
     }
@@ -83,6 +95,7 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
       // Do not leave a half-loaded engine looking ready.
       shards_.clear();
       lower_bounds_.clear();
+      shared_buffers_.reset();
       return status;
     }
   }
@@ -146,8 +159,20 @@ Status ShardedEngine::Scan(Key start_key, std::size_t count, std::vector<Record>
   return Status::Ok();
 }
 
-void ShardedEngine::DropCaches() {
-  for (auto& shard : shards_) shard->index->DropCaches();
+Status ShardedEngine::DropCaches() {
+  for (auto& shard : shards_) {
+    LIOD_RETURN_IF_ERROR(shard->index->DropCaches());
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::FlushBuffers() {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    LIOD_RETURN_IF_ERROR(shard->index->FlushBuffers());
+  }
+  return Status::Ok();
 }
 
 IoStatsSnapshot ShardedEngine::MergedIo() const {

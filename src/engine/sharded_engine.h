@@ -20,6 +20,12 @@ struct EngineOptions {
   std::string index_name = "btree";  ///< factory name of the per-shard index
   std::size_t num_shards = 1;        ///< requested shards (clamped to key count)
   IndexOptions index;                ///< options applied to every shard
+  /// When true and index.shared_buffer_budget_blocks > 0, the engine owns one
+  /// BufferManager whose budget spans every shard's files (the real-DBMS
+  /// global buffer pool). Frame traffic is serialized by the manager latch;
+  /// counters stay attributed to the owning shard. Default false: each shard
+  /// buffers independently, preserving per-shard I/O isolation.
+  bool share_buffers_across_shards = false;
 };
 
 /// Key-range-sharded concurrent execution engine.
@@ -68,9 +74,15 @@ class ShardedEngine {
   Status Scan(Key start_key, std::size_t count, std::vector<Record>* out,
               IoStatsSnapshot* io = nullptr);
 
-  /// Empties every shard's buffer pools (benchmarks start cold). Not
-  /// thread-safe.
-  void DropCaches();
+  /// Empties every shard's buffer frames, flushing dirty ones first
+  /// (benchmarks start cold). Not thread-safe. Returns the first flush
+  /// error, if any.
+  Status DropCaches();
+
+  /// Writes back every shard's dirty frames (no-op under write-through).
+  /// Takes each shard's lock; the concurrent runner calls it after the
+  /// measured window so deferred write-back I/O is attributed to the run.
+  Status FlushBuffers();
 
   /// Sum of all shards' I/O counters. Thread-safe.
   IoStatsSnapshot MergedIo() const;
@@ -100,6 +112,10 @@ class ShardedEngine {
   Status CheckReady() const;
 
   EngineOptions options_;
+  /// Cross-shard shared buffer manager (share_buffers_across_shards mode).
+  /// Declared before shards_ so shards (whose files unregister on
+  /// destruction) are destroyed first.
+  std::unique_ptr<BufferManager> shared_buffers_;
   std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: stable mutexes
   std::vector<Key> lower_bounds_;
 };

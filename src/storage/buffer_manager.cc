@@ -1,0 +1,388 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <list>
+
+namespace liod {
+
+namespace {
+
+/// Shared machinery of the exact-ordering policies: a recency list (front =
+/// newest) with O(1) erase. LRU and FIFO differ only in whether Touch
+/// reorders.
+class ListPolicy : public EvictionPolicy {
+ public:
+  void Insert(std::size_t frame) override {
+    order_.push_front(frame);
+    pos_[frame] = order_.begin();
+  }
+  void Erase(std::size_t frame) override {
+    const auto it = pos_.find(frame);
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+  std::size_t Victim() override { return order_.back(); }
+
+ protected:
+  std::list<std::size_t> order_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<std::size_t>::iterator> pos_;
+};
+
+class LruPolicy final : public ListPolicy {
+ public:
+  const char* name() const override { return "lru"; }
+  void Touch(std::size_t frame) override {
+    order_.splice(order_.begin(), order_, pos_[frame]);
+  }
+};
+
+class FifoPolicy final : public ListPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  void Touch(std::size_t) override {}  // insertion order only
+};
+
+/// Second-chance clock: a ring of frames with reference bits; the hand skips
+/// (and clears) referenced frames and evicts the first unreferenced one.
+/// Erased frames leave tombstones that are compacted once they dominate.
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const override { return "clock"; }
+
+  void Insert(std::size_t frame) override {
+    pos_[frame] = ring_.size();
+    ring_.push_back({frame, false});
+    ++live_;
+  }
+
+  void Touch(std::size_t frame) override { ring_[pos_[frame]].ref = true; }
+
+  void Erase(std::size_t frame) override {
+    const auto it = pos_.find(frame);
+    ring_[it->second].frame = kTombstone;
+    pos_.erase(it);
+    --live_;
+    if (ring_.size() > 2 * live_ + 8) Compact();
+  }
+
+  std::size_t Victim() override {
+    while (true) {
+      if (hand_ >= ring_.size()) hand_ = 0;
+      Entry& entry = ring_[hand_];
+      if (entry.frame == kTombstone) {
+        ++hand_;
+      } else if (entry.ref) {
+        entry.ref = false;  // second chance
+        ++hand_;
+      } else {
+        return entry.frame;  // hand stays: Erase will tombstone this slot
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kTombstone = static_cast<std::size_t>(-1);
+  struct Entry {
+    std::size_t frame;
+    bool ref;
+  };
+
+  void Compact() {
+    std::vector<Entry> packed;
+    packed.reserve(live_);
+    // Preserve the circular order as seen from the hand so sweep progress
+    // carries over.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      const Entry& entry = ring_[(hand_ + i) % ring_.size()];
+      if (entry.frame != kTombstone) packed.push_back(entry);
+    }
+    ring_ = std::move(packed);
+    hand_ = 0;
+    for (std::size_t i = 0; i < ring_.size(); ++i) pos_[ring_[i].frame] = i;
+  }
+
+  std::vector<Entry> ring_;
+  std::unordered_map<std::size_t, std::size_t> pos_;
+  std::size_t hand_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(BufferPolicy policy) {
+  switch (policy) {
+    case BufferPolicy::kLru: return std::make_unique<LruPolicy>();
+    case BufferPolicy::kClock: return std::make_unique<ClockPolicy>();
+    case BufferPolicy::kFifo: return std::make_unique<FifoPolicy>();
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+// --- FileHandle: thin locking forwarders ------------------------------------
+
+Status FileHandle::ReadBlock(BlockId id, std::byte* out) {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return manager_->ReadBlockLocked(this, id, out);
+}
+
+Status FileHandle::WriteBlock(BlockId id, const std::byte* data) {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return manager_->WriteBlockLocked(this, id, data);
+}
+
+Status FileHandle::Flush() {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return manager_->FlushLocked(this);
+}
+
+Status FileHandle::DropCaches() {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  LIOD_RETURN_IF_ERROR(manager_->FlushLocked(this));
+  // All frames are clean now; discard them.
+  while (!frames_.empty()) manager_->DropFrameLocked(frames_.begin()->second);
+  return Status::Ok();
+}
+
+Status FileHandle::Grow(BlockId new_num_blocks) {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return device_->Grow(new_num_blocks);
+}
+
+std::size_t FileHandle::cached_blocks() const {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return frames_.size();
+}
+
+std::size_t FileHandle::dirty_blocks() const {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  std::size_t dirty = 0;
+  for (const auto& [block, slot] : frames_) {
+    if (manager_->slots_[slot].dirty) ++dirty;
+  }
+  return dirty;
+}
+
+// --- BufferManager ----------------------------------------------------------
+
+BufferManager::BufferManager(const Options& options) : options_(options) {
+  if (options_.shared_budget_frames > 0) {
+    (void)NewPoolLocked(options_.shared_budget_frames);  // pool 0: the shared pool
+  }
+}
+
+BufferManager::~BufferManager() = default;
+
+std::size_t BufferManager::NewPoolLocked(std::size_t budget) {
+  auto pool = std::make_unique<Pool>();
+  pool->budget = budget;
+  pool->policy = MakeEvictionPolicy(options_.policy);
+  if (!free_pools_.empty()) {
+    const std::size_t index = free_pools_.back();
+    free_pools_.pop_back();
+    pools_[index] = std::move(pool);
+    return index;
+  }
+  pools_.push_back(std::move(pool));
+  return pools_.size() - 1;
+}
+
+bool BufferManager::PoolIsPrivateLocked(const FileHandle* file) const {
+  return !(options_.shared_budget_frames > 0 && file->pool_ == 0);
+}
+
+FileHandle* BufferManager::RegisterFile(BlockDevice* device, IoStats* stats,
+                                        FileClass klass, std::size_t file_budget_frames,
+                                        bool count_io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto file = std::make_unique<FileHandle>();
+  file->manager_ = this;
+  file->device_ = device;
+  file->stats_ = stats;
+  file->klass_ = klass;
+  file->count_io_ = count_io;
+  if (!count_io) {
+    // Memory-resident mode (Section 6.2): pinned, uncounted, unbounded --
+    // never competes with counted files for the shared budget.
+    file->pool_ = NewPoolLocked(kUnbounded);
+  } else if (options_.shared_budget_frames > 0) {
+    file->pool_ = 0;
+  } else {
+    file->pool_ = NewPoolLocked(file_budget_frames);
+  }
+  FileHandle* raw = file.get();
+  files_.push_back(std::move(file));
+  return raw;
+}
+
+void BufferManager::UnregisterFile(FileHandle* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The file is being deleted: its frames are discarded without write-back.
+  // (PagedFile's destructor flushes first unless the file was marked deleted.)
+  while (!file->frames_.empty()) DropFrameLocked(file->frames_.begin()->second);
+  if (PoolIsPrivateLocked(file)) {
+    // Recycle the private pool's slot so file churn cannot grow the table.
+    pools_[file->pool_].reset();
+    free_pools_.push_back(file->pool_);
+  }
+  std::erase_if(files_, [file](const std::unique_ptr<FileHandle>& f) {
+    return f.get() == file;
+  });
+}
+
+Status BufferManager::CheckBudget(const Pool& pool) {
+  if (pool.budget == 0) {
+    return Status::InvalidArgument(
+        "buffer budget must be at least 1 frame (got 0); use "
+        "BufferManager::kUnbounded for no limit");
+  }
+  return Status::Ok();
+}
+
+Status BufferManager::WritebackLocked(Frame& frame) {
+  LIOD_RETURN_IF_ERROR(frame.file->device_->Write(frame.block, frame.data.get()));
+  if (frame.file->count_io_ && frame.file->stats_ != nullptr) {
+    frame.file->stats_->CountWrite(frame.file->klass_);
+    frame.file->stats_->CountWriteback(frame.file->klass_);
+  }
+  frame.dirty = false;
+  return Status::Ok();
+}
+
+Status BufferManager::MakeRoomLocked(Pool& pool) {
+  while (pool.frames >= pool.budget) {
+    const std::size_t victim = pool.policy->Victim();
+    Frame& frame = slots_[victim];
+    // A failed write-back aborts the triggering operation; the victim stays
+    // cached and dirty so no data is lost.
+    if (frame.dirty) LIOD_RETURN_IF_ERROR(WritebackLocked(frame));
+    if (frame.file->count_io_ && frame.file->stats_ != nullptr) {
+      frame.file->stats_->CountEviction(frame.file->klass_);
+    }
+    DropFrameLocked(victim);
+  }
+  return Status::Ok();
+}
+
+std::size_t BufferManager::InsertFrameLocked(FileHandle* file, BlockId id, bool dirty) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  Frame& frame = slots_[slot];
+  frame.file = file;
+  frame.block = id;
+  frame.data = std::make_unique<std::byte[]>(file->device_->block_size());
+  frame.dirty = dirty;
+  file->frames_[id] = slot;
+  Pool& pool = *pools_[file->pool_];
+  ++pool.frames;
+  pool.policy->Insert(slot);
+  return slot;
+}
+
+void BufferManager::DropFrameLocked(std::size_t slot) {
+  Frame& frame = slots_[slot];
+  Pool& pool = *pools_[frame.file->pool_];
+  pool.policy->Erase(slot);
+  --pool.frames;
+  frame.file->frames_.erase(frame.block);
+  frame.file = nullptr;
+  frame.data.reset();
+  frame.dirty = false;
+  free_slots_.push_back(slot);
+}
+
+Status BufferManager::ReadBlockLocked(FileHandle* file, BlockId id, std::byte* out) {
+  Pool& pool = *pools_[file->pool_];
+  LIOD_RETURN_IF_ERROR(CheckBudget(pool));
+  const auto it = file->frames_.find(id);
+  if (it != file->frames_.end()) {
+    if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountHit(file->klass_);
+    pool.policy->Touch(it->second);
+    std::memcpy(out, slots_[it->second].data.get(), file->device_->block_size());
+    return Status::Ok();
+  }
+  if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountMiss(file->klass_);
+  // Fetch straight into the caller's buffer BEFORE evicting: a failed read
+  // must neither cache a stale frame nor cost another file's victim its slot
+  // (under write-back an eager eviction would even pay a device write for a
+  // read that never happens). The seed's BufferPool read-then-evicted too.
+  LIOD_RETURN_IF_ERROR(file->device_->Read(id, out));
+  if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountRead(file->klass_);
+  LIOD_RETURN_IF_ERROR(MakeRoomLocked(pool));
+  const std::size_t slot = InsertFrameLocked(file, id, /*dirty=*/false);
+  std::memcpy(slots_[slot].data.get(), out, file->device_->block_size());
+  return Status::Ok();
+}
+
+Status BufferManager::WriteBlockLocked(FileHandle* file, BlockId id,
+                                       const std::byte* data) {
+  Pool& pool = *pools_[file->pool_];
+  LIOD_RETURN_IF_ERROR(CheckBudget(pool));
+  if (!options_.write_back) {
+    // Write-through: the device write always happens and is always counted.
+    LIOD_RETURN_IF_ERROR(file->device_->Write(id, data));
+    if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountWrite(file->klass_);
+  }
+  const bool dirty = options_.write_back;
+  const auto it = file->frames_.find(id);
+  if (it != file->frames_.end()) {
+    if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountHit(file->klass_);
+    pool.policy->Touch(it->second);
+    Frame& frame = slots_[it->second];
+    std::memcpy(frame.data.get(), data, file->device_->block_size());
+    frame.dirty = dirty;
+    return Status::Ok();
+  }
+  if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountMiss(file->klass_);
+  LIOD_RETURN_IF_ERROR(MakeRoomLocked(pool));
+  // Write-allocate: a full-block write needs no device read to populate the
+  // frame. In write-back mode the device write is deferred to eviction/flush.
+  const std::size_t slot = InsertFrameLocked(file, id, dirty);
+  std::memcpy(slots_[slot].data.get(), data, file->device_->block_size());
+  return Status::Ok();
+}
+
+Status BufferManager::FlushLocked(FileHandle* file) {
+  // Deterministic write-back order (the map iterates in hash order).
+  std::vector<std::size_t> dirty_slots;
+  for (const auto& [block, slot] : file->frames_) {
+    if (slots_[slot].dirty) dirty_slots.push_back(slot);
+  }
+  std::sort(dirty_slots.begin(), dirty_slots.end(),
+            [this](std::size_t a, std::size_t b) {
+              return slots_[a].block < slots_[b].block;
+            });
+  for (std::size_t slot : dirty_slots) {
+    LIOD_RETURN_IF_ERROR(WritebackLocked(slots_[slot]));
+  }
+  return Status::Ok();
+}
+
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& file : files_) {
+    LIOD_RETURN_IF_ERROR(FlushLocked(file.get()));
+  }
+  return Status::Ok();
+}
+
+std::size_t BufferManager::cached_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size() - free_slots_.size();
+}
+
+BufferManager::Options BufferManagerOptionsFrom(const IndexOptions& options) {
+  BufferManager::Options manager_options;
+  manager_options.policy = options.buffer_policy;
+  manager_options.write_back = options.buffer_write_back;
+  manager_options.shared_budget_frames = options.shared_buffer_budget_blocks;
+  return manager_options;
+}
+
+}  // namespace liod

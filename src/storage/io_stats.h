@@ -2,6 +2,7 @@
 #define LIOD_STORAGE_IO_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,13 @@ const char* FileClassName(FileClass klass);
 struct IoStatsSnapshot {
   std::array<std::uint64_t, kNumFileClasses> reads{};
   std::array<std::uint64_t, kNumFileClasses> writes{};
+  /// Buffer-manager counters, also per file class: frame hits and misses
+  /// (reads and writes both probe the pool), evictions, and write-backs
+  /// (deferred device writes paid at eviction or flush; a subset of writes).
+  std::array<std::uint64_t, kNumFileClasses> buffer_hits{};
+  std::array<std::uint64_t, kNumFileClasses> buffer_misses{};
+  std::array<std::uint64_t, kNumFileClasses> buffer_evictions{};
+  std::array<std::uint64_t, kNumFileClasses> buffer_writebacks{};
   /// Logical node visits, incremented by index code (not by the pool):
   std::uint64_t inner_nodes_visited = 0;
   std::uint64_t leaf_nodes_visited = 0;
@@ -32,6 +40,29 @@ struct IoStatsSnapshot {
   std::uint64_t TotalIo() const { return TotalReads() + TotalWrites(); }
   std::uint64_t ReadsFor(FileClass klass) const { return reads[static_cast<int>(klass)]; }
   std::uint64_t WritesFor(FileClass klass) const { return writes[static_cast<int>(klass)]; }
+  std::uint64_t HitsFor(FileClass klass) const {
+    return buffer_hits[static_cast<int>(klass)];
+  }
+  std::uint64_t MissesFor(FileClass klass) const {
+    return buffer_misses[static_cast<int>(klass)];
+  }
+  std::uint64_t EvictionsFor(FileClass klass) const {
+    return buffer_evictions[static_cast<int>(klass)];
+  }
+  std::uint64_t WritebacksFor(FileClass klass) const {
+    return buffer_writebacks[static_cast<int>(klass)];
+  }
+  std::uint64_t TotalHits() const;
+  std::uint64_t TotalMisses() const;
+  std::uint64_t TotalEvictions() const;
+  std::uint64_t TotalWritebacks() const;
+
+  /// hits / (hits + misses) for one file class; 0 when the class saw no
+  /// buffer traffic. Reported directly by the benches and liod_cli so sweeps
+  /// never re-derive it from raw counters.
+  double HitRateFor(FileClass klass) const;
+  /// hits / (hits + misses) across all classes; 0 without buffer traffic.
+  double OverallHitRate() const;
 
   IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const;
   IoStatsSnapshot& operator+=(const IoStatsSnapshot& rhs);
@@ -40,20 +71,49 @@ struct IoStatsSnapshot {
   std::string ToString() const;
 };
 
-/// Mutable counter hub shared by all files of one index. Buffer pools count
-/// device reads/writes here; index code counts logical node visits.
+/// Mutable counter hub shared by all files of one index. The buffer manager
+/// counts device reads/writes and frame hit/miss/evict/writeback here; index
+/// code counts logical node visits.
+///
+/// Counters are relaxed atomics: with a cross-shard shared buffer budget
+/// (engine/sharded_engine.h), one shard's eviction can write back another
+/// shard's dirty frame and must bump the owning shard's counters while that
+/// shard runs its own operation. Each counter is exact; a snapshot() taken
+/// concurrently with updates may mix counters from different instants, which
+/// only matters for in-flight per-op attribution (documented there).
 class IoStats {
  public:
-  void CountRead(FileClass klass) { ++snapshot_.reads[static_cast<int>(klass)]; }
-  void CountWrite(FileClass klass) { ++snapshot_.writes[static_cast<int>(klass)]; }
-  void CountInnerNodeVisit() { ++snapshot_.inner_nodes_visited; }
-  void CountLeafNodeVisit() { ++snapshot_.leaf_nodes_visited; }
+  void CountRead(FileClass klass) { Bump(reads_, klass); }
+  void CountWrite(FileClass klass) { Bump(writes_, klass); }
+  void CountHit(FileClass klass) { Bump(buffer_hits_, klass); }
+  void CountMiss(FileClass klass) { Bump(buffer_misses_, klass); }
+  void CountEviction(FileClass klass) { Bump(buffer_evictions_, klass); }
+  void CountWriteback(FileClass klass) { Bump(buffer_writebacks_, klass); }
+  void CountInnerNodeVisit() {
+    inner_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountLeafNodeVisit() {
+    leaf_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  const IoStatsSnapshot& snapshot() const { return snapshot_; }
-  void Reset() { snapshot_ = IoStatsSnapshot{}; }
+  IoStatsSnapshot snapshot() const;
+  void Reset();
 
  private:
-  IoStatsSnapshot snapshot_;
+  using Counters = std::array<std::atomic<std::uint64_t>, kNumFileClasses>;
+
+  static void Bump(Counters& counters, FileClass klass) {
+    counters[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Counters reads_{};
+  Counters writes_{};
+  Counters buffer_hits_{};
+  Counters buffer_misses_{};
+  Counters buffer_evictions_{};
+  Counters buffer_writebacks_{};
+  std::atomic<std::uint64_t> inner_nodes_visited_{0};
+  std::atomic<std::uint64_t> leaf_nodes_visited_{0};
 };
 
 }  // namespace liod

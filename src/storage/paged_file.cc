@@ -5,15 +5,34 @@
 
 namespace liod {
 
+PagedFile::PagedFile(std::unique_ptr<BlockDevice> device, BufferManager* manager,
+                     IoStats* stats, FileClass klass, const PagedFileOptions& options)
+    : device_(std::move(device)),
+      manager_(manager),
+      klass_(klass),
+      reuse_freed_space_(options.reuse_freed_space) {
+  buffer_ = manager_->RegisterFile(device_.get(), stats, klass,
+                                   options.buffer_pool_blocks, options.count_io);
+}
+
 PagedFile::PagedFile(std::unique_ptr<BlockDevice> device, IoStats* stats, FileClass klass,
                      const PagedFileOptions& options)
     : device_(std::move(device)),
-      stats_(stats),
+      owned_manager_(std::make_unique<BufferManager>(BufferManager::Options{})),
+      manager_(owned_manager_.get()),
       klass_(klass),
-      reuse_freed_space_(options.reuse_freed_space),
-      pool_(device_.get(), stats, klass,
-            options.count_io ? options.buffer_pool_blocks : BufferPool::kUnbounded,
-            options.count_io) {}
+      reuse_freed_space_(options.reuse_freed_space) {
+  buffer_ = manager_->RegisterFile(device_.get(), stats, klass,
+                                   options.buffer_pool_blocks, options.count_io);
+}
+
+PagedFile::~PagedFile() {
+  // Deferred writes must not be lost at teardown: flush unless the file is
+  // logically deleted. Best effort -- a destructor cannot surface a Status;
+  // callers that need the error use Flush()/FlushBuffers() explicitly.
+  if (!deleted_) (void)buffer_->Flush();
+  manager_->UnregisterFile(buffer_);
+}
 
 BlockId PagedFile::Allocate() {
   if (reuse_freed_space_ && !free_list_.empty()) {
@@ -39,7 +58,9 @@ BlockId PagedFile::AllocateRun(std::uint32_t n) {
   }
   const BlockId start = next_block_;
   next_block_ += n;
-  CheckOk(device_->Grow(next_block_), "PagedFile::AllocateRun grow");
+  // Grow through the handle: with a shared cross-shard budget another thread
+  // may be writing back frames of this device concurrently.
+  CheckOk(buffer_->Grow(next_block_), "PagedFile::AllocateRun grow");
   return start;
 }
 
@@ -62,7 +83,7 @@ Status PagedFile::ReadBytes(std::uint64_t byte_offset, std::uint64_t length, std
     const BlockId block = static_cast<BlockId>(pos / bs);
     const std::uint64_t in_block = pos % bs;
     const std::uint64_t chunk = std::min(length - done, bs - in_block);
-    LIOD_RETURN_IF_ERROR(pool_.ReadBlock(block, scratch.data()));
+    LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
     std::memcpy(out + done, scratch.data() + in_block, chunk);
     done += chunk;
   }
@@ -81,10 +102,10 @@ Status PagedFile::WriteBytes(std::uint64_t byte_offset, std::uint64_t length,
     const std::uint64_t chunk = std::min(length - done, bs - in_block);
     if (chunk < bs) {
       // Partial block: read-modify-write.
-      LIOD_RETURN_IF_ERROR(pool_.ReadBlock(block, scratch.data()));
+      LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
     }
     std::memcpy(scratch.data() + in_block, data + done, chunk);
-    LIOD_RETURN_IF_ERROR(pool_.WriteBlock(block, scratch.data()));
+    LIOD_RETURN_IF_ERROR(buffer_->WriteBlock(block, scratch.data()));
     done += chunk;
   }
   return Status::Ok();

@@ -9,27 +9,48 @@
 #include "common/status.h"
 #include "storage/block.h"
 #include "storage/block_device.h"
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "storage/io_stats.h"
 
 namespace liod {
 
 /// Options controlling one paged file.
 struct PagedFileOptions {
+  /// Buffer budget of this file in frames when the manager runs per-file
+  /// budgets; ignored when the manager has a shared budget. 0 is invalid and
+  /// surfaces as kInvalidArgument on the first buffered access.
   std::size_t buffer_pool_blocks = 1;
   /// When false (paper behaviour, Section 6.3), freed blocks are only
   /// accounted as invalid space and never handed out again.
   bool reuse_freed_space = false;
-  /// When false, I/O on this file is not counted (Section 6.2 hybrid case).
+  /// When false, I/O on this file is not counted and its frames are pinned
+  /// unbounded (Section 6.2 hybrid case).
   bool count_io = true;
 };
 
-/// One on-disk file: a BlockDevice plus block allocation and a buffer pool.
-/// Every index file (inner, leaf, per-LSM-level, ...) is a PagedFile.
+/// One on-disk file: block allocation over a BlockDevice, buffered through a
+/// BufferManager. Every index file (inner, leaf, per-LSM-level, ...) is a
+/// PagedFile. The file is a thin allocation façade: all block I/O forwards to
+/// the FileHandle it registered with the manager, which owns budgets,
+/// eviction, and write-back.
 class PagedFile {
  public:
+  /// Registers with `manager` (externally owned; must outlive this file).
+  PagedFile(std::unique_ptr<BlockDevice> device, BufferManager* manager, IoStats* stats,
+            FileClass klass, const PagedFileOptions& options);
+
+  /// Standalone convenience (tests, single-file tools): the file owns a
+  /// private write-through LRU manager with a per-file budget -- the seed's
+  /// per-file BufferPool behaviour.
   PagedFile(std::unique_ptr<BlockDevice> device, IoStats* stats, FileClass klass,
             const PagedFileOptions& options);
+
+  /// Best-effort flushes dirty frames (unless MarkDeleted was called), then
+  /// unregisters from the manager.
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
 
   std::size_t block_size() const { return device_->block_size(); }
   FileClass file_class() const { return klass_; }
@@ -46,8 +67,10 @@ class PagedFile {
   /// they become unreclaimable "invalid space" counted in the footprint.
   void Free(BlockId id, std::uint32_t n = 1);
 
-  Status ReadBlock(BlockId id, std::byte* out) { return pool_.ReadBlock(id, out); }
-  Status WriteBlock(BlockId id, const std::byte* data) { return pool_.WriteBlock(id, data); }
+  Status ReadBlock(BlockId id, std::byte* out) { return buffer_->ReadBlock(id, out); }
+  Status WriteBlock(BlockId id, const std::byte* data) {
+    return buffer_->WriteBlock(id, data);
+  }
 
   /// Convenience: read/write an arbitrary byte range that may span blocks.
   /// Each touched block costs one block I/O, exactly as the on-disk indexes
@@ -55,7 +78,17 @@ class PagedFile {
   Status ReadBytes(std::uint64_t byte_offset, std::uint64_t length, std::byte* out);
   Status WriteBytes(std::uint64_t byte_offset, std::uint64_t length, const std::byte* data);
 
-  BufferPool& pool() { return pool_; }
+  /// Writes back this file's dirty frames (no-op under write-through).
+  Status Flush() { return buffer_->Flush(); }
+  /// Flushes dirty frames, then empties this file's cache.
+  Status DropCaches() { return buffer_->DropCaches(); }
+
+  /// Marks the file as logically deleted (e.g. a merged PGM level): its
+  /// destructor will discard dirty frames instead of flushing them, since
+  /// write-back I/O to a deleted file would be pure waste.
+  void MarkDeleted() { deleted_ = true; }
+
+  FileHandle& buffer() { return *buffer_; }
 
   /// Total blocks ever allocated (the high-water mark = on-disk footprint;
   /// the paper measures files this way since freed space is not reclaimed).
@@ -66,10 +99,12 @@ class PagedFile {
 
  private:
   std::unique_ptr<BlockDevice> device_;
-  IoStats* stats_;
+  std::unique_ptr<BufferManager> owned_manager_;  // standalone constructor only
+  BufferManager* manager_;
+  FileHandle* buffer_;  // owned by manager_
   FileClass klass_;
   bool reuse_freed_space_;
-  BufferPool pool_;
+  bool deleted_ = false;
 
   BlockId next_block_ = 0;
   std::uint64_t freed_blocks_ = 0;

@@ -180,6 +180,98 @@ TEST(ShardedEngine, RejectsUnknownIndexAndUnsortedInput) {
 
 // --- ConcurrentRunner -----------------------------------------------------
 
+// --- Cross-shard shared buffer budget -------------------------------------
+
+TEST(ShardedEngineSharedBuffer, SpansShardsAndStaysCorrect) {
+  // One 64-frame budget over 4 shards, write-back on: shard A's miss can
+  // evict (and write back) shard B's dirty frame. Answers must be identical
+  // to the unbuffered configuration.
+  const auto keys = MakeDataset("fb", 12000, 3);
+  EngineOptions options = SmallEngineOptions("btree", 4);
+  options.share_buffers_across_shards = true;
+  options.index.shared_buffer_budget_blocks = 64;
+  options.index.buffer_write_back = true;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Bulkload(MakeRecords(keys)).ok());
+
+  for (std::size_t i = 0; i < keys.size(); i += 97) {
+    Payload payload = 0;
+    bool found = false;
+    ASSERT_TRUE(engine.Lookup(keys[i], &payload, &found).ok());
+    ASSERT_TRUE(found) << keys[i];
+    EXPECT_EQ(payload, PayloadFor(keys[i]));
+  }
+  // Updates routed to every shard, then flushed: the deferred writes reach
+  // the devices and are tallied as write-backs.
+  for (std::size_t i = 0; i < keys.size(); i += 53) {
+    ASSERT_TRUE(engine.Insert(keys[i], keys[i] + 1).ok());
+  }
+  ASSERT_TRUE(engine.FlushBuffers().ok());
+  const IoStatsSnapshot merged = engine.MergedIo();
+  EXPECT_GT(merged.TotalWrites(), 0u);
+  EXPECT_EQ(merged.TotalWrites(), merged.TotalWritebacks());
+  for (std::size_t i = 0; i < keys.size(); i += 53) {
+    Payload payload = 0;
+    bool found = false;
+    ASSERT_TRUE(engine.Lookup(keys[i], &payload, &found).ok());
+    ASSERT_TRUE(found);
+    EXPECT_EQ(payload, keys[i] + 1);
+  }
+}
+
+TEST(ShardedEngineSharedBuffer, ConcurrentYcsbARunsGreenUnderSharedWriteBack) {
+  // The TSan target: 4 client threads x 4 shards hammering one shared
+  // write-back pool. check_lookups makes lost updates or torn frames fail
+  // loudly; exact I/O is schedule-dependent, but conservation laws are not.
+  const auto keys = MakeDataset("osm", 16000, 9);
+  EngineOptions options = SmallEngineOptions("btree", 4);
+  options.share_buffers_across_shards = true;
+  options.index.shared_buffer_budget_blocks = 32;
+  options.index.buffer_write_back = true;
+  ShardedEngine engine(options);
+
+  WorkloadSpec spec;
+  spec.type = WorkloadType::kYcsbA;
+  spec.operations = 8000;
+  spec.seed = 11;
+  const ConcurrentWorkload w = BuildConcurrentWorkload(keys, spec, 4);
+
+  ConcurrentRunnerConfig config;
+  config.check_lookups = true;
+  ConcurrentRunResult result;
+  ASSERT_TRUE(RunConcurrentWorkload(&engine, w, config, &result).ok());
+  EXPECT_EQ(result.operations, 8000u);
+
+  const IoStatsSnapshot& io = result.io;
+  // After the runner's end-of-run flush nothing is dirty, so every counted
+  // write was a write-back (write-back mode never writes through).
+  EXPECT_EQ(io.TotalWrites(), io.TotalWritebacks());
+  // The shared pool never exceeds its budget.
+  EXPECT_LE(engine.shard(0)->buffer_manager().cached_frames(), 32u);
+  // Zipfian updates through a 32-frame pool must coalesce at least some
+  // writes: fewer device writes than update operations.
+  EXPECT_LT(io.TotalWrites(), 4000u);
+}
+
+TEST(ShardedEngineSharedBuffer, AllShardsShareOneManager) {
+  const auto keys = MakeDataset("fb", 4000, 5);
+  EngineOptions options = SmallEngineOptions("btree", 3);
+  options.share_buffers_across_shards = true;
+  options.index.shared_buffer_budget_blocks = 16;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Bulkload(MakeRecords(keys)).ok());
+  BufferManager* manager = &engine.shard(0)->buffer_manager();
+  for (std::size_t s = 1; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(&engine.shard(s)->buffer_manager(), manager);
+  }
+  // Without the flag each shard owns a private manager.
+  EngineOptions isolated = SmallEngineOptions("btree", 3);
+  isolated.index.shared_buffer_budget_blocks = 16;
+  ShardedEngine engine2(isolated);
+  ASSERT_TRUE(engine2.Bulkload(MakeRecords(keys)).ok());
+  EXPECT_NE(&engine2.shard(0)->buffer_manager(), &engine2.shard(1)->buffer_manager());
+}
+
 TEST(ConcurrentRunner, SingleThreadMatchesSequentialRunner) {
   // Acceptance gate: with 1 shard / 1 thread the engine path must produce
   // operation counts and I/O totals identical to the classic RunWorkload.

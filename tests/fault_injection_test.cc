@@ -56,8 +56,8 @@ TEST(FaultInjection, BPlusTreeLookupSurfacesReadError) {
   BPlusTree tree(inner.file.get(), leaf.file.get(), &leaf.stats, 0.8);
   const auto records = ToRecords(UniformKeys(5000, 2));
   ASSERT_TRUE(tree.Bulkload(records).ok());
-  inner.file->pool().Clear();
-  leaf.file->pool().Clear();
+  ASSERT_TRUE(inner.file->DropCaches().ok());
+  ASSERT_TRUE(leaf.file->DropCaches().ok());
   inner.device->FailAfter(0);
   std::uint64_t value;
   bool found;
@@ -101,8 +101,8 @@ TEST(FaultInjection, StaticPgmBuildAndLookupPropagate) {
     EXPECT_FALSE(pgm2.Build(records).ok());
   }
   ASSERT_TRUE(pgm.Build(records).ok());
-  inner.file->pool().Clear();
-  leaf.file->pool().Clear();
+  ASSERT_TRUE(inner.file->DropCaches().ok());
+  ASSERT_TRUE(leaf.file->DropCaches().ok());
   inner.device->FailAfter(0);
   Payload p;
   bool found;

@@ -108,8 +108,8 @@ TEST(StaticPgm, LookupIoWithinBound) {
   StaticPgmFixture f;
   const auto keys = HeavyTailKeys(50000, 7);
   ASSERT_TRUE(f.pgm.Build(ToRecords(keys)).ok());
-  f.inner.pool().Clear();
-  f.leaf.pool().Clear();
+  ASSERT_TRUE(f.inner.DropCaches().ok());
+  ASSERT_TRUE(f.leaf.DropCaches().ok());
   f.stats.Reset();
   const int n = 300;
   Rng rng(8);

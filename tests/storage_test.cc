@@ -1,11 +1,12 @@
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "storage/block_device.h"
-#include "storage/buffer_pool.h"
+#include "storage/buffer_manager.h"
 #include "storage/disk_model.h"
 #include "storage/fault_injection_device.h"
 #include "storage/io_stats.h"
@@ -87,113 +88,298 @@ TEST(FileBlockDevice, ReopenPreservesContents) {
   std::remove(path.c_str());
 }
 
-// --- BufferPool ---------------------------------------------------------
+// --- BufferManager ------------------------------------------------------
 
-TEST(BufferPool, CapacityOneReusesLastBlockOnly) {
+/// One memory device + one registered file, per-file budget.
+struct BufferedFile {
+  MemoryBlockDevice dev{kBs};
+  IoStats stats;
+  BufferManager manager;
+  FileHandle* file;
+
+  explicit BufferedFile(std::size_t budget, BufferManager::Options options = {},
+                        BlockId blocks = 8, FileClass klass = FileClass::kLeaf)
+      : manager(options) {
+    CheckOk(dev.Grow(blocks), "BufferedFile grow");
+    file = manager.RegisterFile(&dev, &stats, klass, budget);
+  }
+};
+
+TEST(BufferManager, CapacityOneReusesLastBlockOnly) {
   // The paper's default: only the last fetched block is reusable (Sec 6.5).
-  MemoryBlockDevice dev(kBs);
-  ASSERT_TRUE(dev.Grow(3).ok());
-  IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/1);
+  BufferedFile f(1);
   std::vector<std::byte> out(kBs);
 
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit
-  EXPECT_EQ(stats.snapshot().TotalReads(), 1u);
-  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss, evicts 0
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss again
-  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // miss
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 1u);
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // miss, evicts 0
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // miss again
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 3u);
 }
 
-TEST(BufferPool, LruEvictionOrder) {
-  MemoryBlockDevice dev(kBs);
-  ASSERT_TRUE(dev.Grow(4).ok());
-  IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/2);
+TEST(BufferManager, LruEvictionOrder) {
+  BufferedFile f(2);
   std::vector<std::byte> out(kBs);
 
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // cache: {0}
-  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // cache: {1,0}
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit; cache: {0,1}
-  ASSERT_TRUE(pool.ReadBlock(2, out.data()).ok());  // evicts 1
-  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // still cached
-  EXPECT_EQ(stats.snapshot().TotalReads(), 3u);
-  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // was evicted: miss
-  EXPECT_EQ(stats.snapshot().TotalReads(), 4u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // cache: {0}
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // cache: {1,0}
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit; cache: {0,1}
+  ASSERT_TRUE(f.file->ReadBlock(2, out.data()).ok());  // evicts 1
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // still cached
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // was evicted: miss
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 4u);
 }
 
-TEST(BufferPool, HitMissAccountingAcrossEvictionBoundary) {
+TEST(BufferManager, HitMissAccountingAcrossEvictionBoundary) {
   // Capacity 2 with an access pattern that forces evict-then-refetch: the
   // hit/miss counters must stay consistent with the counted device reads.
-  MemoryBlockDevice dev(kBs);
-  ASSERT_TRUE(dev.Grow(3).ok());
-  IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, /*capacity_blocks=*/2);
+  BufferedFile f(2);
   std::vector<std::byte> out(kBs);
+  const auto hits = [&] { return f.stats.snapshot().TotalHits(); };
+  const auto misses = [&] { return f.stats.snapshot().TotalMisses(); };
 
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss; cache {0}
-  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss; cache {1,0}
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit;  cache {0,1}
-  EXPECT_EQ(pool.hits(), 1u);
-  EXPECT_EQ(pool.misses(), 2u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // miss; cache {0}
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // miss; cache {1,0}
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit;  cache {0,1}
+  EXPECT_EQ(hits(), 1u);
+  EXPECT_EQ(misses(), 2u);
 
-  ASSERT_TRUE(pool.ReadBlock(2, out.data()).ok());  // miss; evicts 1
-  ASSERT_TRUE(pool.ReadBlock(1, out.data()).ok());  // miss: 1 must refetch
-  EXPECT_EQ(pool.hits(), 1u);
-  EXPECT_EQ(pool.misses(), 4u);
+  ASSERT_TRUE(f.file->ReadBlock(2, out.data()).ok());  // miss; evicts 1
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // miss: 1 must refetch
+  EXPECT_EQ(hits(), 1u);
+  EXPECT_EQ(misses(), 4u);
 
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // miss: 0 was evicted by 1
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());  // hit
-  EXPECT_EQ(pool.hits(), 2u);
-  EXPECT_EQ(pool.misses(), 5u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // miss: 0 was evicted by 1
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit
+  EXPECT_EQ(hits(), 2u);
+  EXPECT_EQ(misses(), 5u);
 
   // Every miss is a counted device read; hits never touch the device.
-  EXPECT_EQ(stats.snapshot().TotalReads(), pool.misses());
-  EXPECT_EQ(pool.cached_blocks(), 2u);
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), misses());
+  EXPECT_EQ(f.file->cached_blocks(), 2u);
+  EXPECT_EQ(f.stats.snapshot().EvictionsFor(FileClass::kLeaf), 3u);
+  EXPECT_DOUBLE_EQ(f.stats.snapshot().OverallHitRate(), 2.0 / 7.0);
 }
 
-TEST(BufferPool, WriteThroughCountsEveryWrite) {
-  MemoryBlockDevice dev(kBs);
-  ASSERT_TRUE(dev.Grow(2).ok());
-  IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kLeaf, 4);
+TEST(BufferManager, WriteThroughCountsEveryWrite) {
+  BufferedFile f(4);
   const auto data = Pattern(kBs, 1);
-  ASSERT_TRUE(pool.WriteBlock(0, data.data()).ok());
-  ASSERT_TRUE(pool.WriteBlock(0, data.data()).ok());
-  EXPECT_EQ(stats.snapshot().TotalWrites(), 2u);
+  ASSERT_TRUE(f.file->WriteBlock(0, data.data()).ok());
+  ASSERT_TRUE(f.file->WriteBlock(0, data.data()).ok());
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 2u);
+  EXPECT_EQ(f.stats.snapshot().WritebacksFor(FileClass::kLeaf), 0u);
   // The written block is cached: reading it costs no device read.
   std::vector<std::byte> out(kBs);
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());
-  EXPECT_EQ(stats.snapshot().TotalReads(), 0u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 0u);
   EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
 }
 
-TEST(BufferPool, UncountedPoolLeavesStatsUntouched) {
+TEST(BufferManager, UncountedFileLeavesStatsUntouched) {
+  BufferedFile f(1);  // holds the manager; the uncounted file pins unbounded
   MemoryBlockDevice dev(kBs);
   ASSERT_TRUE(dev.Grow(2).ok());
-  IoStats stats;
-  BufferPool pool(&dev, &stats, FileClass::kInner, BufferPool::kUnbounded,
-                  /*count_io=*/false);
+  FileHandle* inner =
+      f.manager.RegisterFile(&dev, &f.stats, FileClass::kInner, 1, /*count_io=*/false);
   std::vector<std::byte> out(kBs);
-  ASSERT_TRUE(pool.ReadBlock(0, out.data()).ok());
-  ASSERT_TRUE(pool.WriteBlock(1, out.data()).ok());
-  EXPECT_EQ(stats.snapshot().TotalIo(), 0u);
+  ASSERT_TRUE(inner->ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(inner->WriteBlock(1, out.data()).ok());
+  ASSERT_TRUE(inner->ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(f.stats.snapshot().TotalIo(), 0u);
+  EXPECT_EQ(f.stats.snapshot().TotalHits() + f.stats.snapshot().TotalMisses(), 0u);
+  // Unbounded: both blocks stayed cached.
+  EXPECT_EQ(inner->cached_blocks(), 2u);
 }
 
-TEST(BufferPool, ClassifiedCounting) {
+TEST(BufferManager, ClassifiedCounting) {
   MemoryBlockDevice inner_dev(kBs), leaf_dev(kBs);
   ASSERT_TRUE(inner_dev.Grow(1).ok());
   ASSERT_TRUE(leaf_dev.Grow(1).ok());
   IoStats stats;
-  BufferPool inner(&inner_dev, &stats, FileClass::kInner, 1);
-  BufferPool leaf(&leaf_dev, &stats, FileClass::kLeaf, 1);
+  BufferManager manager{BufferManager::Options{}};
+  FileHandle* inner = manager.RegisterFile(&inner_dev, &stats, FileClass::kInner, 1);
+  FileHandle* leaf = manager.RegisterFile(&leaf_dev, &stats, FileClass::kLeaf, 1);
   std::vector<std::byte> out(kBs);
-  ASSERT_TRUE(inner.ReadBlock(0, out.data()).ok());
-  ASSERT_TRUE(leaf.ReadBlock(0, out.data()).ok());
-  ASSERT_TRUE(leaf.ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(inner->ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(leaf->ReadBlock(0, out.data()).ok());
+  ASSERT_TRUE(leaf->ReadBlock(0, out.data()).ok());
   EXPECT_EQ(stats.snapshot().ReadsFor(FileClass::kInner), 1u);
   EXPECT_EQ(stats.snapshot().ReadsFor(FileClass::kLeaf), 1u);
+  EXPECT_EQ(stats.snapshot().HitsFor(FileClass::kLeaf), 1u);
+  EXPECT_DOUBLE_EQ(stats.snapshot().HitRateFor(FileClass::kLeaf), 0.5);
+}
+
+TEST(BufferManager, ZeroBudgetIsRejected) {
+  // Satellite fix: a 0-frame pool used to be silently clamped; it must fail.
+  BufferedFile f(0);
+  std::vector<std::byte> out(kBs);
+  EXPECT_EQ(f.file->ReadBlock(0, out.data()).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(f.file->WriteBlock(0, out.data()).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(f.stats.snapshot().TotalIo(), 0u);
+}
+
+TEST(BufferManager, UnboundedSentinelNeverEvicts) {
+  EXPECT_EQ(BufferManager::kUnbounded, std::numeric_limits<std::size_t>::max());
+  BufferedFile f(BufferManager::kUnbounded);
+  std::vector<std::byte> out(kBs);
+  for (BlockId id = 0; id < 8; ++id) {
+    ASSERT_TRUE(f.file->ReadBlock(id, out.data()).ok());
+  }
+  EXPECT_EQ(f.file->cached_blocks(), 8u);
+  EXPECT_EQ(f.stats.snapshot().EvictionsFor(FileClass::kLeaf), 0u);
+}
+
+TEST(BufferManager, WriteBackDefersAndCoalescesDeviceWrites) {
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferedFile f(2, options);
+  const auto data = Pattern(kBs, 9);
+
+  // Three writes to the same block: zero device writes until flush.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.file->WriteBlock(0, data.data()).ok());
+  }
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 0u);
+  EXPECT_EQ(f.file->dirty_blocks(), 1u);
+
+  // A read of the dirty frame sees the buffered contents.
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), out.data(), kBs));
+
+  ASSERT_TRUE(f.file->Flush().ok());
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 1u);  // coalesced
+  EXPECT_EQ(f.stats.snapshot().WritebacksFor(FileClass::kLeaf), 1u);
+  EXPECT_EQ(f.file->dirty_blocks(), 0u);
+  EXPECT_EQ(f.file->cached_blocks(), 1u);  // flush keeps the frame
+
+  // Device now holds the data.
+  std::vector<std::byte> direct(kBs);
+  ASSERT_TRUE(f.dev.Read(0, direct.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), direct.data(), kBs));
+}
+
+TEST(BufferManager, WriteBackPaysOnEviction) {
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferedFile f(1, options);
+  const auto data = Pattern(kBs, 3);
+  ASSERT_TRUE(f.file->WriteBlock(0, data.data()).ok());
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 0u);
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // evicts dirty 0
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 1u);
+  EXPECT_EQ(f.stats.snapshot().WritebacksFor(FileClass::kLeaf), 1u);
+  std::vector<std::byte> direct(kBs);
+  ASSERT_TRUE(f.dev.Read(0, direct.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), direct.data(), kBs));
+}
+
+TEST(BufferManager, DropCachesFlushesDirtyFramesFirst) {
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferedFile f(4, options);
+  const auto data = Pattern(kBs, 5);
+  ASSERT_TRUE(f.file->WriteBlock(2, data.data()).ok());
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  EXPECT_EQ(f.file->cached_blocks(), 0u);
+  EXPECT_EQ(f.stats.snapshot().TotalWrites(), 1u);
+  std::vector<std::byte> direct(kBs);
+  ASSERT_TRUE(f.dev.Read(2, direct.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), direct.data(), kBs));
+}
+
+TEST(BufferManager, SharedBudgetSpansFiles) {
+  BufferManager::Options options;
+  options.shared_budget_frames = 2;
+  BufferManager manager(options);
+  MemoryBlockDevice dev_a(kBs), dev_b(kBs);
+  ASSERT_TRUE(dev_a.Grow(4).ok());
+  ASSERT_TRUE(dev_b.Grow(4).ok());
+  IoStats stats;
+  // Per-file budget argument is ignored in shared mode.
+  FileHandle* a = manager.RegisterFile(&dev_a, &stats, FileClass::kInner, 99);
+  FileHandle* b = manager.RegisterFile(&dev_b, &stats, FileClass::kLeaf, 99);
+  std::vector<std::byte> out(kBs);
+
+  ASSERT_TRUE(a->ReadBlock(0, out.data()).ok());  // pool: {a0}
+  ASSERT_TRUE(b->ReadBlock(0, out.data()).ok());  // pool: {b0,a0}
+  EXPECT_EQ(manager.cached_frames(), 2u);
+  ASSERT_TRUE(b->ReadBlock(1, out.data()).ok());  // evicts a0 (LRU across files)
+  EXPECT_EQ(manager.cached_frames(), 2u);
+  EXPECT_EQ(a->cached_blocks(), 0u);
+  EXPECT_EQ(b->cached_blocks(), 2u);
+  EXPECT_EQ(stats.snapshot().EvictionsFor(FileClass::kInner), 1u);
+  ASSERT_TRUE(a->ReadBlock(0, out.data()).ok());  // miss: was evicted
+  EXPECT_EQ(stats.snapshot().ReadsFor(FileClass::kInner), 2u);
+}
+
+TEST(BufferManager, FifoIgnoresRecency) {
+  BufferManager::Options options;
+  options.policy = BufferPolicy::kFifo;
+  BufferedFile f(2, options);
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // in: 0
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // in: 0,1
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit; order unchanged
+  ASSERT_TRUE(f.file->ReadBlock(2, out.data()).ok());  // evicts 0 (oldest in)
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // 1 still cached: hit
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // 0 was evicted: miss
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 4u);
+}
+
+TEST(BufferManager, ClockGivesSecondChance) {
+  BufferManager::Options options;
+  options.policy = BufferPolicy::kClock;
+  BufferedFile f(2, options);
+  std::vector<std::byte> out(kBs);
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // ring: 0(ref=0)
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // ring: 0,1 (ref=0)
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit: ref(0)=1
+  // Miss: hand at 0 -> 0 referenced, gets second chance; victim is 1.
+  ASSERT_TRUE(f.file->ReadBlock(2, out.data()).ok());
+  ASSERT_TRUE(f.file->ReadBlock(0, out.data()).ok());  // hit: survived
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 3u);
+  ASSERT_TRUE(f.file->ReadBlock(1, out.data()).ok());  // evicted: miss
+  EXPECT_EQ(f.stats.snapshot().TotalReads(), 4u);
+}
+
+TEST(BufferManager, EveryPolicyRoundTripsData) {
+  for (BufferPolicy policy :
+       {BufferPolicy::kLru, BufferPolicy::kClock, BufferPolicy::kFifo}) {
+    for (bool write_back : {false, true}) {
+      BufferManager::Options options;
+      options.policy = policy;
+      options.write_back = write_back;
+      BufferedFile f(3, options, /*blocks=*/16);
+      // Interleaved writes and reads over 16 blocks through a 3-frame pool.
+      for (int round = 0; round < 3; ++round) {
+        for (BlockId id = 0; id < 16; ++id) {
+          const auto data = Pattern(kBs, static_cast<unsigned char>(id * 7 + round));
+          ASSERT_TRUE(f.file->WriteBlock(id, data.data()).ok());
+        }
+        for (BlockId id = 0; id < 16; ++id) {
+          const auto want = Pattern(kBs, static_cast<unsigned char>(id * 7 + round));
+          std::vector<std::byte> got(kBs);
+          ASSERT_TRUE(f.file->ReadBlock(id, got.data()).ok());
+          ASSERT_EQ(0, std::memcmp(want.data(), got.data(), kBs))
+              << BufferPolicyName(policy) << " wb=" << write_back << " id=" << id;
+        }
+      }
+      ASSERT_TRUE(f.file->Flush().ok());
+      // After flush the device holds the final contents.
+      for (BlockId id = 0; id < 16; ++id) {
+        const auto want = Pattern(kBs, static_cast<unsigned char>(id * 7 + 2));
+        std::vector<std::byte> direct(kBs);
+        ASSERT_TRUE(f.dev.Read(id, direct.data()).ok());
+        ASSERT_EQ(0, std::memcmp(want.data(), direct.data(), kBs));
+      }
+    }
+  }
 }
 
 // --- PagedFile ----------------------------------------------------------
@@ -285,6 +471,121 @@ TEST(PagedFile, FullBlockWriteSkipsRead) {
   EXPECT_EQ(stats.snapshot().TotalWrites(), 1u);
 }
 
+TEST(PagedFile, RunReuseExactFitAndFallbackGrowth) {
+  IoStats stats;
+  PagedFileOptions opt;
+  opt.reuse_freed_space = true;
+  auto file = MakeMemFile(&stats, opt);
+  const BlockId run_a = file.AllocateRun(4);
+  const BlockId run_b = file.AllocateRun(6);
+  (void)file.Allocate();  // guard so freed runs are interior
+  file.Free(run_a, 4);
+  file.Free(run_b, 6);
+  EXPECT_EQ(file.freed_blocks(), 10u);
+  // Best-fit: a 6-block request takes the 6-run exactly, not the 4-run.
+  EXPECT_EQ(file.AllocateRun(6), run_b);
+  EXPECT_EQ(file.freed_blocks(), 4u);
+  // Larger than any remaining hole: grows the high-water mark instead.
+  const BlockId grown = file.AllocateRun(5);
+  EXPECT_EQ(grown, 11u);
+  EXPECT_EQ(file.allocated_blocks(), 16u);
+  // The 4-run is still available for an exact fit.
+  EXPECT_EQ(file.AllocateRun(4), run_a);
+  EXPECT_EQ(file.freed_blocks(), 0u);
+}
+
+TEST(PagedFile, SingleBlockFreesDoNotSatisfyRunRequests) {
+  // Free(1) goes to the single-block list; AllocateRun(n>1) must not stitch
+  // singles together (contiguity is unknown) and grows instead.
+  IoStats stats;
+  PagedFileOptions opt;
+  opt.reuse_freed_space = true;
+  auto file = MakeMemFile(&stats, opt);
+  const BlockId a = file.Allocate();
+  const BlockId b = file.Allocate();
+  file.Free(a);
+  file.Free(b);
+  EXPECT_EQ(file.AllocateRun(2), 2u);  // grew past the singles
+  // But single allocations recycle them (LIFO).
+  EXPECT_EQ(file.Allocate(), b);
+  EXPECT_EQ(file.Allocate(), a);
+  EXPECT_EQ(file.freed_blocks(), 0u);
+}
+
+TEST(PagedFile, RunRecyclingIgnoredWithoutReuseOption) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);  // paper default: no reuse
+  const BlockId run = file.AllocateRun(8);
+  file.Free(run, 8);
+  EXPECT_EQ(file.AllocateRun(8), 8u);  // fresh space, hole stays invalid
+  EXPECT_EQ(file.freed_blocks(), 8u);
+  EXPECT_EQ(file.allocated_blocks(), 16u);
+  EXPECT_EQ(file.live_blocks(), 8u);
+}
+
+TEST(PagedFile, ByteRangeSpanningPartialHeadAndTail) {
+  // Write covering [100, 2*kBs+100): partial head block 0, full block 1,
+  // partial tail block 2. Head and tail need read-modify-write; the full
+  // middle block must skip the read.
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  (void)file.AllocateRun(3);
+  std::vector<std::byte> data(2 * kBs);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 13 + 1) & 0xFF);
+  }
+  stats.Reset();
+  ASSERT_TRUE(file.WriteBytes(100, data.size(), data.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 2u);   // head + tail RMW fetches
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 3u);  // all three touched blocks
+
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(file.ReadBytes(100, out.size(), out.data()).ok());
+  EXPECT_EQ(data, out);
+
+  // Bytes outside the written range stayed zero (Grow zero-fills).
+  std::vector<std::byte> head(100);
+  ASSERT_TRUE(file.ReadBytes(0, head.size(), head.data()).ok());
+  for (std::byte b : head) EXPECT_EQ(b, std::byte{0});
+  std::vector<std::byte> tail(kBs - 100);
+  ASSERT_TRUE(file.ReadBytes(2 * kBs + 100, tail.size(), tail.data()).ok());
+  for (std::byte b : tail) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(PagedFile, ReadBytesAlignedSpanSkipsRmw) {
+  IoStats stats;
+  auto file = MakeMemFile(&stats);
+  (void)file.AllocateRun(4);
+  std::vector<std::byte> data(4 * kBs, std::byte{0x5A});
+  stats.Reset();
+  // Fully aligned multi-block write: no RMW reads at all.
+  ASSERT_TRUE(file.WriteBytes(0, data.size(), data.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 0u);
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 4u);
+}
+
+TEST(PagedFile, WriteBytesThroughWriteBackManagerDefersDeviceWrites) {
+  // The façade composes with a write-back manager: byte-range writes dirty
+  // frames and the device write is paid once per block at flush.
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferManager manager(options);
+  IoStats stats;
+  PagedFileOptions file_options;
+  file_options.buffer_pool_blocks = 8;
+  PagedFile file(std::make_unique<MemoryBlockDevice>(kBs), &manager, &stats,
+                 FileClass::kLeaf, file_options);
+  (void)file.AllocateRun(2);
+  std::vector<std::byte> data(kBs / 2, std::byte{0x42});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(file.WriteBytes(i * data.size(), data.size(), data.data()).ok());
+  }
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 0u);  // all deferred
+  ASSERT_TRUE(file.Flush().ok());
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 2u);  // one per dirty block
+  EXPECT_EQ(stats.snapshot().WritebacksFor(FileClass::kLeaf), 2u);
+}
+
 // --- FaultInjectionDevice ------------------------------------------------
 
 TEST(FaultInjection, FailAfterCountsDown) {
@@ -311,20 +612,79 @@ TEST(FaultInjection, PoisonedBlock) {
   EXPECT_TRUE(dev.Write(3, buf.data()).ok());
 }
 
-TEST(FaultInjection, PoolPropagatesErrorsWithoutCaching) {
+TEST(FaultInjection, ManagerPropagatesErrorsWithoutCaching) {
   auto base = std::make_unique<MemoryBlockDevice>(kBs);
   ASSERT_TRUE(base->Grow(2).ok());
   auto* raw = new FaultInjectionDevice(
       std::unique_ptr<BlockDevice>(std::move(base)));
   std::unique_ptr<BlockDevice> owned(raw);
   IoStats stats;
-  BufferPool pool(owned.get(), &stats, FileClass::kLeaf, 2);
+  BufferManager manager{BufferManager::Options{}};
+  FileHandle* file = manager.RegisterFile(owned.get(), &stats, FileClass::kLeaf, 2);
   raw->FailBlock(1);
   std::vector<std::byte> buf(kBs);
-  EXPECT_FALSE(pool.ReadBlock(1, buf.data()).ok());
+  EXPECT_FALSE(file->ReadBlock(1, buf.data()).ok());
   raw->ClearFailBlock();
   // After the failure clears, the block must be readable (not a stale frame).
-  EXPECT_TRUE(pool.ReadBlock(1, buf.data()).ok());
+  EXPECT_TRUE(file->ReadBlock(1, buf.data()).ok());
+}
+
+TEST(FaultInjection, FailedReadLeavesVictimCachedAndDirty) {
+  // A miss must fetch BEFORE evicting: if the device read fails, the would-be
+  // victim (here a dirty frame in a 1-frame pool) keeps its slot, its dirty
+  // data, and no eviction/write-back is counted for a read that never
+  // happened.
+  auto base = std::make_unique<MemoryBlockDevice>(kBs);
+  ASSERT_TRUE(base->Grow(4).ok());
+  auto* raw = new FaultInjectionDevice(
+      std::unique_ptr<BlockDevice>(std::move(base)));
+  std::unique_ptr<BlockDevice> owned(raw);
+  IoStats stats;
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferManager manager(options);
+  FileHandle* file = manager.RegisterFile(owned.get(), &stats, FileClass::kLeaf, 1);
+  const auto data = Pattern(kBs, 21);
+  ASSERT_TRUE(file->WriteBlock(0, data.data()).ok());  // dirty, deferred
+  raw->FailBlock(1);
+  std::vector<std::byte> buf(kBs);
+  EXPECT_FALSE(file->ReadBlock(1, buf.data()).ok());
+  EXPECT_EQ(file->cached_blocks(), 1u);  // victim survived
+  EXPECT_EQ(file->dirty_blocks(), 1u);
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 0u);  // no write-back paid
+  EXPECT_EQ(stats.snapshot().EvictionsFor(FileClass::kLeaf), 0u);
+  // Block 0 is still served from the cache, not the device.
+  ASSERT_TRUE(file->ReadBlock(0, buf.data()).ok());
+  EXPECT_EQ(stats.snapshot().TotalReads(), 0u);
+  EXPECT_EQ(0, std::memcmp(data.data(), buf.data(), kBs));
+}
+
+TEST(FaultInjection, FailedWritebackKeepsFrameDirty) {
+  auto base = std::make_unique<MemoryBlockDevice>(kBs);
+  ASSERT_TRUE(base->Grow(4).ok());
+  auto* raw = new FaultInjectionDevice(
+      std::unique_ptr<BlockDevice>(std::move(base)));
+  std::unique_ptr<BlockDevice> owned(raw);
+  IoStats stats;
+  BufferManager::Options options;
+  options.write_back = true;
+  BufferManager manager(options);
+  FileHandle* file = manager.RegisterFile(owned.get(), &stats, FileClass::kLeaf, 1);
+  const auto data = Pattern(kBs, 77);
+  ASSERT_TRUE(file->WriteBlock(0, data.data()).ok());  // deferred
+  raw->FailBlock(0);
+  std::vector<std::byte> buf(kBs);
+  // Reading another block must evict-and-write-back block 0, which fails; the
+  // dirty frame survives so no data is lost.
+  EXPECT_FALSE(file->ReadBlock(1, buf.data()).ok());
+  EXPECT_EQ(file->dirty_blocks(), 1u);
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 0u);
+  raw->ClearFailBlock();
+  EXPECT_TRUE(file->ReadBlock(1, buf.data()).ok());  // write-back now succeeds
+  EXPECT_EQ(stats.snapshot().TotalWrites(), 1u);
+  std::vector<std::byte> direct(kBs);
+  ASSERT_TRUE(raw->Read(0, direct.data()).ok());
+  EXPECT_EQ(0, std::memcmp(data.data(), direct.data(), kBs));
 }
 
 // --- DiskModel ----------------------------------------------------------

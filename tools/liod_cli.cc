@@ -5,9 +5,14 @@
 //
 //   liod_cli --index alex --dataset fb --workload balanced
 //            --bulk 100000 --ops 100000 [--block 4096] [--buffer 1]
-//            [--disk hdd|ssd|both] [--csv] [--inner-in-memory]
-//            [--scan-length 100] [--seed 42] [--threads 1] [--shards 1]
-//            [--zipf 0.99]
+//            [--buffer-policy lru|clock|fifo] [--buffer-budget N]
+//            [--write-back] [--disk hdd|ssd|both] [--csv]
+//            [--inner-in-memory] [--scan-length 100] [--seed 42]
+//            [--threads 1] [--shards 1] [--zipf 0.99]
+//
+// --buffer is the paper's per-file frame budget; --buffer-budget N > 0
+// switches to one shared pool of N frames across all files (and across all
+// shards in engine mode, where the budget then spans the whole engine).
 //
 // With --threads/--shards > 1 execution routes through the ShardedEngine and
 // the multi-threaded ConcurrentRunner; the defaults (1/1) keep the classic
@@ -35,6 +40,9 @@ struct CliArgs {
   std::size_t ops = 50'000;
   std::size_t block = 4096;
   std::size_t buffer = 1;
+  std::size_t buffer_budget = 0;  // 0 = per-file budgets
+  std::string buffer_policy = "lru";
+  bool write_back = false;
   std::size_t scan_length = 100;
   std::size_t threads = 1;
   std::size_t shards = 1;
@@ -56,6 +64,8 @@ void Usage() {
   for (WorkloadType t : YcsbWorkloadTypes()) std::printf(" %s", WorkloadTypeName(t));
   std::printf(
       "\noptions:   --bulk N --ops N --block BYTES --buffer BLOCKS --seed N\n"
+      "           --buffer-policy lru|clock|fifo --buffer-budget BLOCKS (shared pool;\n"
+      "             spans all shards in engine mode) --write-back\n"
       "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n"
       "           --threads N --shards N (engine mode when either > 1) --zipf THETA\n");
 }
@@ -70,6 +80,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->csv = true;
     } else if (a == "--inner-in-memory") {
       args->inner_in_memory = true;
+    } else if (a == "--write-back") {
+      args->write_back = true;
     } else if ((v = next()) == nullptr) {
       std::fprintf(stderr, "missing value for %s\n", a.c_str());
       return false;
@@ -87,6 +99,10 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->block = std::strtoull(v, nullptr, 10);
     } else if (a == "--buffer") {
       args->buffer = std::strtoull(v, nullptr, 10);
+    } else if (a == "--buffer-budget") {
+      args->buffer_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--buffer-policy") {
+      args->buffer_policy = v;
     } else if (a == "--scan-length") {
       args->scan_length = std::strtoull(v, nullptr, 10);
     } else if (a == "--threads") {
@@ -149,10 +165,12 @@ int RunSequential(const CliArgs& args, const IndexOptions& options,
   if (args.csv) {
     std::printf(
         "index,dataset,workload,disk,ops,tput_ops_s,reads_per_op,writes_per_op,"
-        "p99_us,stddev_us,disk_mib,invalid_mib,height,smos\n");
+        "p99_us,stddev_us,disk_mib,invalid_mib,height,smos,"
+        "hit_inner,hit_leaf,hit_overall\n");
     for (const DiskModel& disk : disks) {
       std::printf(
-          "%s,%s,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.1f,%.2f,%.2f,%llu,%llu\n",
+          "%s,%s,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.1f,%.2f,%.2f,%llu,%llu,"
+          "%.3f,%.3f,%.3f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
           disk.name.c_str(), static_cast<unsigned long long>(result.operations),
           result.ThroughputOps(disk),
@@ -161,7 +179,9 @@ int RunSequential(const CliArgs& args, const IndexOptions& options,
           result.LatencyPercentileUs(0.99, disk), result.LatencyStdDevUs(disk),
           stats.disk_bytes / 1048576.0, stats.freed_bytes / 1048576.0,
           static_cast<unsigned long long>(stats.height),
-          static_cast<unsigned long long>(stats.smo_count));
+          static_cast<unsigned long long>(stats.smo_count),
+          result.io.HitRateFor(FileClass::kInner),
+          result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate());
     }
     return 0;
   }
@@ -172,6 +192,9 @@ int RunSequential(const CliArgs& args, const IndexOptions& options,
   std::printf("  blocks/op: %.2f read, %.2f written\n",
               static_cast<double>(result.io.TotalReads()) / ops_den,
               static_cast<double>(result.io.TotalWrites()) / ops_den);
+  std::printf("  buffer hit rate: inner %.3f, leaf %.3f, overall %.3f\n",
+              result.io.HitRateFor(FileClass::kInner),
+              result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate());
   for (const DiskModel& disk : disks) {
     std::printf("  %s: %.1f ops/s, p99 %.2f ms, stddev %.2f ms\n", disk.name.c_str(),
                 result.ThroughputOps(disk), result.LatencyPercentileUs(0.99, disk) / 1e3,
@@ -198,6 +221,8 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
   engine_options.index_name = args.index;
   engine_options.num_shards = args.shards;
   engine_options.index = options;
+  // A shared budget in engine mode means one pool for the whole engine.
+  engine_options.share_buffers_across_shards = args.buffer_budget > 0;
   ShardedEngine engine(engine_options);
 
   const ConcurrentWorkload w = BuildConcurrentWorkload(keys, spec, args.threads);
@@ -223,10 +248,11 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
   if (args.csv) {
     std::printf(
         "index,dataset,workload,threads,shards,disk,ops,tput_ops_s,reads_per_op,"
-        "writes_per_op,p99_us,disk_mib,height,smos\n");
+        "writes_per_op,p99_us,disk_mib,height,smos,hit_inner,hit_leaf,hit_overall\n");
     for (const DiskModel& disk : disks) {
       std::printf(
-          "%s,%s,%s,%zu,%zu,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu\n",
+          "%s,%s,%s,%zu,%zu,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu,"
+          "%.3f,%.3f,%.3f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(), args.threads,
           engine.num_shards(), disk.name.c_str(),
           static_cast<unsigned long long>(result.operations), result.ThroughputOps(disk),
@@ -234,7 +260,9 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
           static_cast<double>(result.io.TotalWrites()) / ops_den,
           result.LatencyPercentileUs(0.99, disk), stats.disk_bytes / 1048576.0,
           static_cast<unsigned long long>(stats.height),
-          static_cast<unsigned long long>(stats.smo_count));
+          static_cast<unsigned long long>(stats.smo_count),
+          result.io.HitRateFor(FileClass::kInner),
+          result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate());
     }
     return 0;
   }
@@ -246,6 +274,9 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
   std::printf("  blocks/op: %.2f read, %.2f written\n",
               static_cast<double>(result.io.TotalReads()) / ops_den,
               static_cast<double>(result.io.TotalWrites()) / ops_den);
+  std::printf("  buffer hit rate: inner %.3f, leaf %.3f, overall %.3f\n",
+              result.io.HitRateFor(FileClass::kInner),
+              result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate());
   for (const DiskModel& disk : disks) {
     std::printf("  %s: %.1f ops/s (modeled, slowest-thread makespan), p99 %.2f ms\n",
                 disk.name.c_str(), result.ThroughputOps(disk),
@@ -277,8 +308,15 @@ int main(int argc, char** argv) {
   IndexOptions options;
   options.block_size = args.block;
   options.buffer_pool_blocks = args.buffer;
+  options.shared_buffer_budget_blocks = args.buffer_budget;
+  options.buffer_write_back = args.write_back;
   options.memory_resident_inner = args.inner_in_memory;
   options.alex_max_data_node_slots = 4096;
+  if (!BufferPolicyFromName(args.buffer_policy, &options.buffer_policy)) {
+    std::fprintf(stderr, "unknown buffer policy '%s'\n", args.buffer_policy.c_str());
+    Usage();
+    return 2;
+  }
 
   const std::size_t dataset_keys =
       WorkloadGrowsDataset(type) ? args.bulk + args.ops : args.bulk;
