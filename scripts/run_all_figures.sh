@@ -16,15 +16,23 @@ binaries=(
   fig10_storage fig11_block_size fig12_tail_latency fig13_buffer_size
   fig14_overall table3_profiling table4_block_breakdown table5_hybrid_blocks
   ablation_alex_layout ablation_fiting_error ablation_storage_reuse
-  scaling_threads buffer_policy_sweep
+  scaling_threads buffer_policy_sweep update_buffer_sweep
 )
+
+# A missing binary means the build is incomplete: fail loudly up front
+# instead of silently producing a partial result set.
+missing=()
+for b in "${binaries[@]}"; do
+  [[ -x "$BUILD_DIR/bench/$b" ]] || missing+=("$b")
+done
+if (( ${#missing[@]} > 0 )); then
+  echo "error: bench binaries not built: ${missing[*]}" >&2
+  echo "build first: cmake --preset release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
 
 for b in "${binaries[@]}"; do
   exe="$BUILD_DIR/bench/$b"
-  if [[ ! -x "$exe" ]]; then
-    echo "skip $b (not built)" >&2
-    continue
-  fi
   echo "== $b =="
   extra=()
   if [[ "$b" == scaling_threads ]]; then
@@ -33,6 +41,10 @@ for b in "${binaries[@]}"; do
   fi
   if [[ "$b" == buffer_policy_sweep ]]; then
     # Policy x budget x write-back on the two featured datasets.
+    extra=(--datasets fb,ycsb --write-bulk 60000 --write-ops 30000)
+  fi
+  if [[ "$b" == update_buffer_sweep ]]; then
+    # Out-of-place vs in-place update path on the two featured datasets.
     extra=(--datasets fb,ycsb --write-bulk 60000 --write-ops 30000)
   fi
   "$exe" "${extra[@]}" "$@" | tee "$OUT_DIR/$b.txt"

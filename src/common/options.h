@@ -45,6 +45,33 @@ inline bool BufferPolicyFromName(const std::string& name, BufferPolicy* out) {
   return true;
 }
 
+/// How the out-of-place update buffer (src/updates/) drains staged updates
+/// back into the base index. Only consulted when update_buffer_blocks > 0.
+enum class MergeMode {
+  kSync,        ///< merge inline on the writing thread at the fill threshold
+  kBackground,  ///< merge on a dedicated thread (one per index/shard)
+};
+
+inline const char* MergeModeName(MergeMode mode) {
+  switch (mode) {
+    case MergeMode::kSync: return "sync";
+    case MergeMode::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+/// Parses "sync" / "background". Returns false on an unknown name.
+inline bool MergeModeFromName(const std::string& name, MergeMode* out) {
+  if (name == "sync") {
+    *out = MergeMode::kSync;
+  } else if (name == "background") {
+    *out = MergeMode::kBackground;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 class BufferManager;  // storage/buffer_manager.h
 
 /// Shared configuration for every index in the library. Defaults follow the
@@ -92,6 +119,29 @@ struct IndexOptions {
   /// ShardedEngine spans one budget across shards. The manager must outlive
   /// the index. Default nullptr; consumed by DiskIndex.
   BufferManager* shared_buffer_manager = nullptr;
+
+  /// Out-of-place update buffering (src/updates/buffered_index.h). Unit:
+  /// blocks; default 0 = disabled, the paper's in-place update path. When
+  /// > 0, the factory wraps the index in an UpdateBufferedIndex decorator:
+  /// Insert/Delete are absorbed into a sorted in-memory staging area of this
+  /// many block-equivalents, spilled to append-only sorted runs (counted
+  /// block writes) on overflow, and merged back into the base structure per
+  /// update_buffer_merge_mode/threshold. Consumed by MakeIndex; applies to
+  /// every factory index with zero per-index changes.
+  std::size_t update_buffer_blocks = 0;
+
+  /// When the buffered volume (staging + spilled runs) reaches this fraction
+  /// of the staging capacity, a merge is triggered. Unit: fraction > 0;
+  /// default 1.0 (merge exactly when the staging area fills, never spilling).
+  /// Values > 1 let the buffer spill runs to disk before merging (e.g. 4.0
+  /// merges after ~3 spilled runs). Consumed by UpdateBufferedIndex.
+  double update_buffer_merge_threshold = 1.0;
+
+  /// Whether threshold-triggered merges run inline on the writing thread
+  /// (kSync, default) or on a dedicated background thread, one per index --
+  /// and therefore one per shard under a ShardedEngine (kBackground).
+  /// Consumed by UpdateBufferedIndex.
+  MergeMode update_buffer_merge_mode = MergeMode::kSync;
 
   /// Unit: flag; default false; consumed by every index family. When true,
   /// inner-node files are pinned in main memory and their I/O is excluded

@@ -50,6 +50,12 @@ std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
   return file;
 }
 
+Status DiskIndex::Delete(Key key) {
+  return Status::Unimplemented("index '" + name() + "' has no in-place delete path (key " +
+                               std::to_string(key) +
+                               "); use the out-of-place update buffer");
+}
+
 Status DiskIndex::DropCaches() {
   for (PagedFile* file : files_) {
     LIOD_RETURN_IF_ERROR(file->DropCaches());

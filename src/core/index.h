@@ -58,6 +58,12 @@ class DiskIndex {
   /// Upsert of one key-payload pair.
   virtual Status Insert(Key key, Payload payload) = 0;
 
+  /// Removes one key. The paper's base structures have no delete path
+  /// (deletes are its open direction), so the default returns
+  /// kUnimplemented; the out-of-place update buffer (src/updates/)
+  /// implements deletion as tombstones layered over any base index.
+  virtual Status Delete(Key key);
+
   /// Range scan: locates `start_key` (or its successor) and returns up to
   /// `count` records in key order.
   virtual Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) = 0;
@@ -66,26 +72,46 @@ class DiskIndex {
   virtual IndexStats GetIndexStats() const = 0;
 
   const IndexOptions& options() const { return options_; }
-  IoStats& io_stats() { return io_stats_; }
-  const IoStats& io_stats() const { return io_stats_; }
-  OpBreakdown& breakdown() { return breakdown_; }
+  /// Virtual so decorators (updates/buffered_index.h) can expose the base
+  /// index's counters as their own; all I/O of a decorated stack lands in
+  /// one IoStats.
+  virtual IoStats& io_stats() { return io_stats_; }
+  virtual const IoStats& io_stats() const { return io_stats_; }
+  virtual OpBreakdown& breakdown() { return breakdown_; }
 
   /// Empties every buffer frame of the index, writing back dirty frames
   /// first (a no-op under write-through, where every frame is clean).
   /// Benchmarks call this after bulkload so measurements start cold, as in
   /// the paper's no-buffer default. Returns the first flush error, if any.
-  Status DropCaches();
+  virtual Status DropCaches();
 
   /// Writes back every dirty frame of every file without dropping it. The
   /// workload runners call this at the end of each measured window so
   /// write-back I/O is attributed to the window that deferred it. No-op
   /// under write-through.
-  Status FlushBuffers();
+  virtual Status FlushBuffers();
+
+  /// Drains any out-of-place staged updates into the base structure. No-op
+  /// for indexes that apply updates in place (the default); the update-buffer
+  /// decorator overrides it with a full merge. The workload runners call it
+  /// at the end of each measured window, before FlushBuffers, so deferred
+  /// merge I/O is paid inside the window that staged it.
+  virtual Status FlushUpdates() { return Status::Ok(); }
 
   /// The manager all of this index's files are registered with: its own by
   /// default, or IndexOptions::shared_buffer_manager when injected (e.g. one
   /// budget spanning every shard of a ShardedEngine).
-  BufferManager& buffer_manager() { return *buffer_manager_; }
+  virtual BufferManager& buffer_manager() { return *buffer_manager_; }
+
+  /// Creates an auxiliary paged file that shares this index's buffer
+  /// manager, I/O stats, and flush/drop registry -- for decorators layering
+  /// extra storage onto an index (e.g. the update buffer's spill runs).
+  /// Release with ReleaseAuxFile before destroying the returned file.
+  std::unique_ptr<PagedFile> MakeAuxFile(FileClass klass) { return MakeFile(klass); }
+
+  /// Unregisters an auxiliary file that the caller is about to destroy. The
+  /// file's dirty frames are discarded, not flushed.
+  void ReleaseAuxFile(PagedFile* file) { RemoveFile(file); }
 
  protected:
   /// Creates a paged file of the given class honoring the shared options:

@@ -6,10 +6,14 @@
 #include "hybrid/hybrid_index.h"
 #include "lipp/lipp_index.h"
 #include "pgm/dynamic_pgm_index.h"
+#include "updates/buffered_index.h"
 
 namespace liod {
 
-std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions& options) {
+namespace {
+
+std::unique_ptr<DiskIndex> MakeBaseIndex(const std::string& name,
+                                         const IndexOptions& options) {
   if (name == "btree") return std::make_unique<BTreeIndex>(options);
   if (name == "fiting") return std::make_unique<FitingTreeIndex>(options);
   if (name == "pgm") return std::make_unique<DynamicPgmIndex>(options);
@@ -31,6 +35,20 @@ std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions
     return std::make_unique<HybridIndex>(options, HybridInner::kLipp);
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions& options) {
+  std::unique_ptr<DiskIndex> index = MakeBaseIndex(name, options);
+  if (index == nullptr) return nullptr;
+  // Out-of-place update mode: one decorator gives every factory index the
+  // buffered write path with zero per-index changes. Disabled (the paper's
+  // in-place default) constructs nothing, keeping I/O bit-exact.
+  if (options.update_buffer_blocks > 0) {
+    index = std::make_unique<UpdateBufferedIndex>(options, std::move(index));
+  }
+  return index;
 }
 
 const std::vector<std::string>& StudiedIndexNames() {

@@ -137,11 +137,13 @@ Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& wo
   result->wall_us = ElapsedUs(ops_start);
   for (const Status& status : statuses) LIOD_RETURN_IF_ERROR(status);
 
-  // End-of-run flush: dirty frames deferred by write-back are paid (and
-  // counted) inside the measured window. The flush lands in shard/merged
+  // End-of-run flushes: staged out-of-place updates are merged into each
+  // shard's base index, then dirty frames deferred by write-back are paid
+  // (and counted) inside the measured window. Both land in shard/merged
   // totals but not in any thread's samples -- per-op attribution of deferred
-  // writes is inherently fuzzy (an eviction in one op pays an earlier op's
-  // write, possibly for another shard under a shared budget).
+  // work is inherently fuzzy (an eviction in one op pays an earlier op's
+  // write; a background merge pays many ops' inserts at once).
+  LIOD_RETURN_IF_ERROR(engine->FlushUpdates());
   LIOD_RETURN_IF_ERROR(engine->FlushBuffers());
 
   result->io = engine->MergedIo() - before_ops;

@@ -175,6 +175,15 @@ Status ShardedEngine::FlushBuffers() {
   return Status::Ok();
 }
 
+Status ShardedEngine::FlushUpdates() {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    LIOD_RETURN_IF_ERROR(shard->index->FlushUpdates());
+  }
+  return Status::Ok();
+}
+
 IoStatsSnapshot ShardedEngine::MergedIo() const {
   IoStatsSnapshot merged;
   for (const auto& shard : shards_) {

@@ -84,6 +84,12 @@ class ShardedEngine {
   /// measured window so deferred write-back I/O is attributed to the run.
   Status FlushBuffers();
 
+  /// Drains every shard's out-of-place update buffer into its base index
+  /// (no-op for in-place indexes). Takes each shard's lock; the concurrent
+  /// runner calls it at the end of the measured window, before FlushBuffers,
+  /// so deferred merge I/O lands in the run that staged it.
+  Status FlushUpdates();
+
   /// Sum of all shards' I/O counters. Thread-safe.
   IoStatsSnapshot MergedIo() const;
 

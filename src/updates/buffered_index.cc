@@ -1,0 +1,252 @@
+#include "updates/buffered_index.h"
+
+#include <algorithm>
+
+namespace liod {
+
+namespace {
+
+/// The decorator's own DiskIndex base never opens files of its own (the
+/// spill file lives with the wrapped index), so point it at the wrapped
+/// index's manager instead of letting it allocate an unused one -- notably
+/// in engine mode, where that would be one dead manager per shard.
+IndexOptions WithBaseManager(IndexOptions options, DiskIndex* base) {
+  options.shared_buffer_manager = &base->buffer_manager();
+  return options;
+}
+
+}  // namespace
+
+UpdateBufferedIndex::UpdateBufferedIndex(const IndexOptions& options,
+                                         std::unique_ptr<DiskIndex> base)
+    : DiskIndex(WithBaseManager(options, base.get())), base_(std::move(base)) {
+  spill_file_ = base_->MakeAuxFile(FileClass::kOther);
+  UpdateBufferConfig config;
+  config.budget_blocks = std::max<std::size_t>(1, options.update_buffer_blocks);
+  config.block_size = options.block_size;
+  config.merge_threshold = options.update_buffer_merge_threshold;
+  buffer_ = std::make_unique<UpdateBuffer>(config, spill_file_.get());
+  if (options.update_buffer_merge_mode == MergeMode::kBackground) {
+    scheduler_ = std::make_unique<MergeScheduler>([this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return MergeLocked();
+    });
+  }
+}
+
+UpdateBufferedIndex::~UpdateBufferedIndex() {
+  scheduler_.reset();  // join the merge thread before tearing down the buffer
+  buffer_.reset();
+  base_->ReleaseAuxFile(spill_file_.get());
+  spill_file_.reset();
+}
+
+Status UpdateBufferedIndex::Bulkload(std::span<const Record> records) {
+  return base_->Bulkload(records);
+}
+
+Status UpdateBufferedIndex::Lookup(Key key, Payload* payload, bool* found) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *found = false;
+  UpdateBuffer::Probe probe = UpdateBuffer::Probe::kMiss;
+  LIOD_RETURN_IF_ERROR(buffer_->Lookup(key, payload, &probe));
+  if (probe == UpdateBuffer::Probe::kUpsert) {
+    *found = true;
+    return Status::Ok();
+  }
+  if (probe == UpdateBuffer::Probe::kTombstone) return Status::Ok();
+  const auto it = overlay_.find(key);
+  if (it != overlay_.end()) {
+    if (!it->second.tombstone) {
+      *payload = it->second.payload;
+      *found = true;
+    }
+    return Status::Ok();
+  }
+  return base_->Lookup(key, payload, found);
+}
+
+Status UpdateBufferedIndex::AfterStageLocked() {
+  // Merge first: a staging area that the threshold is about to drain anyway
+  // must not be spilled to disk first. Staging only overflows to a run when
+  // the threshold is still out of reach (merge_threshold > 1) or a
+  // background merge has not gotten in yet.
+  if (buffer_->NeedsMerge()) {
+    if (scheduler_ != nullptr) {
+      scheduler_->RequestMerge();
+    } else {
+      LIOD_RETURN_IF_ERROR(MergeLocked());
+    }
+  }
+  return buffer_->SpillIfOverCapacity();
+}
+
+Status UpdateBufferedIndex::CheckThreshold() const {
+  const double threshold = options_.update_buffer_merge_threshold;
+  if (threshold > 0.0) return Status::Ok();
+  // Mirrors the buffer manager's zero-budget handling: invalid configuration
+  // surfaces on first use instead of silently degenerating (a threshold of 0
+  // would merge after every single update -- in-place cost mislabeled as the
+  // buffered configuration).
+  return Status::InvalidArgument("update_buffer_merge_threshold must be > 0, got " +
+                                 std::to_string(threshold));
+}
+
+Status UpdateBufferedIndex::Insert(Key key, Payload payload) {
+  LIOD_RETURN_IF_ERROR(CheckThreshold());
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_->Put(key, payload);
+  return AfterStageLocked();
+}
+
+Status UpdateBufferedIndex::Delete(Key key) {
+  LIOD_RETURN_IF_ERROR(CheckThreshold());
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_->Delete(key);
+  return AfterStageLocked();
+}
+
+Status UpdateBufferedIndex::MergeLocked() {
+  if (buffer_->empty()) return Status::Ok();
+  std::vector<StagedUpdate> entries;
+  LIOD_RETURN_IF_ERROR(buffer_->CollectFrom(kMinKey, &entries));
+  for (const StagedUpdate& e : entries) {
+    if (e.tombstone) {
+      // No base index deletes in place; the tombstone stays resident.
+      overlay_[e.key] = OverlayEntry{0, /*tombstone=*/true};
+      continue;
+    }
+    const Status status = base_->Insert(e.key, e.payload);
+    if (status.ok()) {
+      overlay_.erase(e.key);
+    } else if (status.code() == Status::Code::kUnimplemented) {
+      // Search-only base (the hybrids): the upsert lives in the overlay.
+      overlay_[e.key] = OverlayEntry{e.payload, /*tombstone=*/false};
+    } else {
+      return status;
+    }
+  }
+  buffer_->Clear();
+  ++merges_;
+  return Status::Ok();
+}
+
+Status UpdateBufferedIndex::FlushUpdates() {
+  if (scheduler_ != nullptr) LIOD_RETURN_IF_ERROR(scheduler_->WaitIdle());
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergeLocked();
+}
+
+Status UpdateBufferedIndex::Scan(Key start_key, std::size_t count,
+                                 std::vector<Record>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  if (count == 0) return Status::Ok();
+
+  // Buffered + overlay view of [start_key, inf): overlay entries first, then
+  // buffered entries overwrite them (the buffer is younger).
+  std::map<Key, OverlayEntry> view;
+  for (auto it = overlay_.lower_bound(start_key); it != overlay_.end(); ++it) {
+    view.emplace(it->first, it->second);
+  }
+  std::vector<StagedUpdate> buffered;
+  LIOD_RETURN_IF_ERROR(buffer_->CollectFrom(start_key, &buffered));
+  for (const StagedUpdate& e : buffered) {
+    view[e.key] = OverlayEntry{e.payload, e.tombstone};
+  }
+
+  // Two-stream sorted merge: the base is consumed in batches and re-fetched
+  // when tombstones or shadowed records leave the output short.
+  auto vit = view.begin();
+  std::vector<Record> batch;
+  std::size_t bi = 0;
+  Key cursor = start_key;
+  bool base_done = false;
+  auto fetch = [&]() -> Status {
+    batch.clear();
+    bi = 0;
+    const std::size_t want = count - out->size();
+    LIOD_RETURN_IF_ERROR(base_->Scan(cursor, want, &batch));
+    if (batch.size() < want) base_done = true;
+    if (!batch.empty()) {
+      if (batch.back().key == kMaxKey) {
+        base_done = true;
+      } else {
+        cursor = batch.back().key + 1;
+      }
+    }
+    return Status::Ok();
+  };
+  LIOD_RETURN_IF_ERROR(fetch());
+  while (out->size() < count) {
+    if (bi == batch.size() && !base_done) {
+      LIOD_RETURN_IF_ERROR(fetch());
+      continue;
+    }
+    const bool have_base = bi < batch.size();
+    const bool have_view = vit != view.end();
+    if (!have_base && !have_view) break;
+    if (have_base && have_view && batch[bi].key == vit->first) {
+      // Same key in both streams: the buffered/overlay verdict wins.
+      if (!vit->second.tombstone) out->push_back({vit->first, vit->second.payload});
+      ++vit;
+      ++bi;
+      continue;
+    }
+    if (have_base && (!have_view || batch[bi].key < vit->first)) {
+      out->push_back(batch[bi]);
+      ++bi;
+    } else {
+      if (!vit->second.tombstone) out->push_back({vit->first, vit->second.payload});
+      ++vit;
+    }
+  }
+  return Status::Ok();
+}
+
+IndexStats UpdateBufferedIndex::GetIndexStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexStats stats = base_->GetIndexStats();
+  stats.disk_bytes += spill_file_->size_bytes();
+  stats.freed_bytes += spill_file_->freed_blocks() * spill_file_->block_size();
+  // num_records is a documented approximation: overlay upserts are added
+  // (over-counting when one shadows a base key, as hybrid updates of
+  // existing keys do) and resident tombstones subtracted (over-subtracting
+  // when the deleted key never existed). An exact count would need a counted
+  // base lookup per overlay entry, polluting the I/O the benches measure.
+  // Buffered (unmerged) entries are never counted.
+  std::uint64_t overlay_upserts = 0, overlay_tombstones = 0;
+  for (const auto& [key, entry] : overlay_) {
+    (entry.tombstone ? overlay_tombstones : overlay_upserts)++;
+  }
+  stats.num_records += overlay_upserts;
+  stats.num_records -= std::min(stats.num_records, overlay_tombstones);
+  return stats;
+}
+
+std::size_t UpdateBufferedIndex::staged_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_->staged_records();
+}
+
+std::size_t UpdateBufferedIndex::spilled_run_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_->spilled_run_count();
+}
+
+std::uint64_t UpdateBufferedIndex::total_spills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_->total_spills();
+}
+
+std::size_t UpdateBufferedIndex::overlay_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_.size();
+}
+
+std::uint64_t UpdateBufferedIndex::merges_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merges_;
+}
+
+}  // namespace liod

@@ -1,0 +1,120 @@
+#ifndef LIOD_UPDATES_BUFFERED_INDEX_H_
+#define LIOD_UPDATES_BUFFERED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "updates/merge_scheduler.h"
+#include "updates/update_buffer.h"
+
+namespace liod {
+
+/// Out-of-place update decorator over any DiskIndex.
+///
+/// The paper's base indexes apply every update in place: an insert pays the
+/// full search + node-write (+ SMO) block cost immediately. This decorator
+/// instead absorbs Insert/Delete into an UpdateBuffer (sorted in-memory
+/// staging, spilled to append-only sorted runs through a PagedFile) and
+/// merges the buffer back into the base structure either synchronously at a
+/// fill threshold or on a background thread -- the buffered out-of-place
+/// write path that Lan et al. 2023 and Wongkham et al. (VLDB 2022) identify
+/// as the lever that makes updatable learned indexes competitive on disk.
+/// Lookups and scans transparently merge buffer + base results, newest wins.
+///
+/// MakeIndex applies the decorator to every factory index when
+/// IndexOptions::update_buffer_blocks > 0; the default (0) keeps the paper's
+/// in-place path with bit-exact I/O (no decorator is constructed at all).
+///
+/// Deletes and search-only bases: no base index implements an in-place
+/// delete (the paper's open direction), so tombstones that survive a merge
+/// stay in an in-memory resident overlay that shadows the base forever.
+/// Upserts whose base Insert returns kUnimplemented (the search-only hybrid
+/// indexes, Section 6.1.2) are retained the same way, which makes the
+/// hybrids updatable out-of-place -- the paper's P5 direction. The overlay
+/// is unbounded, proportional to deleted keys (and, for hybrids, inserted
+/// keys); DESIGN.md documents the trade.
+///
+/// Accounting: the spill file is created through the base index's
+/// MakeAuxFile, so every spill write and probe read is a counted block I/O
+/// in the base's IoStats and flows through the base's BufferManager budget
+/// like any other file. io_stats()/breakdown() forward to the base, so
+/// runners and benches see one unified counter set.
+///
+/// Thread-safety: all operations serialize on an internal mutex, which is
+/// what lets a background MergeScheduler drain while the owning shard keeps
+/// serving (merges block only their own shard's operations, not other
+/// shards').
+class UpdateBufferedIndex : public DiskIndex {
+ public:
+  /// Wraps `base` (must be non-null). `options` must have
+  /// update_buffer_blocks > 0.
+  UpdateBufferedIndex(const IndexOptions& options, std::unique_ptr<DiskIndex> base);
+  ~UpdateBufferedIndex() override;
+
+  std::string name() const override { return base_->name(); }
+
+  Status Bulkload(std::span<const Record> records) override;
+  Status Lookup(Key key, Payload* payload, bool* found) override;
+  Status Insert(Key key, Payload payload) override;
+  Status Delete(Key key) override;
+  Status Scan(Key start_key, std::size_t count, std::vector<Record>* out) override;
+  IndexStats GetIndexStats() const override;
+
+  /// Full drain: waits out any background merge, then merges everything
+  /// still buffered. The runners call this at the end of each measured
+  /// window so merge I/O is paid inside the window that staged it.
+  Status FlushUpdates() override;
+
+  Status DropCaches() override { return base_->DropCaches(); }
+  Status FlushBuffers() override { return base_->FlushBuffers(); }
+  IoStats& io_stats() override { return base_->io_stats(); }
+  const IoStats& io_stats() const override { return base_->io_stats(); }
+  OpBreakdown& breakdown() override { return base_->breakdown(); }
+  BufferManager& buffer_manager() override { return base_->buffer_manager(); }
+
+  // --- introspection (tests, benches) -------------------------------------
+  DiskIndex* base() { return base_.get(); }
+  std::size_t staged_records() const;
+  std::size_t spilled_run_count() const;
+  std::uint64_t total_spills() const;
+  /// Entries resident in the post-merge overlay (tombstones + upserts the
+  /// base could not absorb).
+  std::size_t overlay_records() const;
+  /// Merges performed (sync and background), counting only non-empty drains.
+  std::uint64_t merges_completed() const;
+
+ private:
+  struct OverlayEntry {
+    Payload payload = 0;
+    bool tombstone = false;
+  };
+
+  /// Applies every buffered entry to the base (newest-wins), moves
+  /// unmergeable entries to the overlay, and clears the buffer. Upserts are
+  /// idempotent, so a failed merge may be retried without damage.
+  Status MergeLocked();
+  /// Post-staging policy: trigger the merge if due, then spill staging to a
+  /// sorted run if it is still over capacity.
+  Status AfterStageLocked();
+  /// kInvalidArgument when update_buffer_merge_threshold <= 0 (surfaced on
+  /// first Insert/Delete, like the buffer manager's zero-budget check).
+  Status CheckThreshold() const;
+
+  std::unique_ptr<DiskIndex> base_;
+  std::unique_ptr<PagedFile> spill_file_;  // registered with base_ (MakeAuxFile)
+  std::unique_ptr<UpdateBuffer> buffer_;
+  /// Post-merge resident entries, shadowed by the buffer, shadowing the base.
+  std::map<Key, OverlayEntry> overlay_;
+  std::uint64_t merges_ = 0;
+  std::unique_ptr<MergeScheduler> scheduler_;  // kBackground mode only
+  mutable std::mutex mu_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_UPDATES_BUFFERED_INDEX_H_

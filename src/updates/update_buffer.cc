@@ -1,0 +1,179 @@
+#include "updates/update_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace liod {
+
+namespace {
+
+/// Serialized run-entry layout: key, payload, flags (1 = tombstone), each 8
+/// bytes little-endian-as-stored (the simulated device is same-host memory).
+void EncodeEntry(Key key, Payload payload, bool tombstone, std::byte* out) {
+  std::uint64_t flags = tombstone ? 1 : 0;
+  std::memcpy(out, &key, sizeof(key));
+  std::memcpy(out + 8, &payload, sizeof(payload));
+  std::memcpy(out + 16, &flags, sizeof(flags));
+}
+
+StagedUpdate DecodeEntry(const std::byte* in) {
+  StagedUpdate e;
+  std::uint64_t flags = 0;
+  std::memcpy(&e.key, in, sizeof(e.key));
+  std::memcpy(&e.payload, in + 8, sizeof(e.payload));
+  std::memcpy(&flags, in + 16, sizeof(flags));
+  e.tombstone = (flags & 1) != 0;
+  return e;
+}
+
+}  // namespace
+
+UpdateBuffer::UpdateBuffer(const UpdateBufferConfig& config, PagedFile* spill_file)
+    : config_(config), spill_file_(spill_file) {
+  capacity_records_ =
+      std::max<std::size_t>(1, config_.budget_blocks * config_.block_size / kEntryBytes);
+}
+
+void UpdateBuffer::Put(Key key, Payload payload) {
+  staged_[key] = Entry{payload, /*tombstone=*/false};
+}
+
+void UpdateBuffer::Delete(Key key) { staged_[key] = Entry{0, /*tombstone=*/true}; }
+
+Status UpdateBuffer::SpillIfOverCapacity() {
+  if (staged_.size() < capacity_records_) return Status::Ok();
+  return SpillStaging();
+}
+
+Status UpdateBuffer::SpillStaging() {
+  if (staged_.empty()) return Status::Ok();
+  const std::size_t bytes = staged_.size() * kEntryBytes;
+  const std::size_t bs = spill_file_->block_size();
+  const std::uint32_t blocks = static_cast<std::uint32_t>((bytes + bs - 1) / bs);
+  // Serialize padded to whole blocks: the spill is pure sequential full-block
+  // writes, with no read-modify-write on the tail.
+  std::vector<std::byte> payload(static_cast<std::size_t>(blocks) * bs);
+  std::size_t i = 0;
+  for (const auto& [key, entry] : staged_) {
+    EncodeEntry(key, entry.payload, entry.tombstone, payload.data() + i * kEntryBytes);
+    ++i;
+  }
+  Run run;
+  run.first_block = spill_file_->AllocateRun(blocks);
+  run.blocks = blocks;
+  run.entries = staged_.size();
+  run.min_key = staged_.begin()->first;
+  run.max_key = staged_.rbegin()->first;
+  LIOD_RETURN_IF_ERROR(spill_file_->WriteBytes(
+      static_cast<std::uint64_t>(run.first_block) * bs, payload.size(), payload.data()));
+  runs_.push_back(run);
+  spilled_records_ += run.entries;
+  ++total_spills_;
+  staged_.clear();
+  return Status::Ok();
+}
+
+Status UpdateBuffer::ReadRunEntry(const Run& run, std::size_t i, StagedUpdate* out) const {
+  std::byte raw[kEntryBytes];
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(run.first_block) * spill_file_->block_size() +
+      i * kEntryBytes;
+  LIOD_RETURN_IF_ERROR(spill_file_->ReadBytes(offset, kEntryBytes, raw));
+  *out = DecodeEntry(raw);
+  return Status::Ok();
+}
+
+Status UpdateBuffer::SearchRun(const Run& run, Key key, StagedUpdate* out,
+                               bool* found) const {
+  *found = false;
+  if (key < run.min_key || key > run.max_key) return Status::Ok();
+  std::size_t lo = 0, hi = run.entries;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    StagedUpdate e;
+    LIOD_RETURN_IF_ERROR(ReadRunEntry(run, mid, &e));
+    if (e.key == key) {
+      *out = e;
+      *found = true;
+      return Status::Ok();
+    }
+    if (e.key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return Status::Ok();
+}
+
+Status UpdateBuffer::Lookup(Key key, Payload* payload, Probe* result) {
+  const auto it = staged_.find(key);
+  if (it != staged_.end()) {
+    *result = it->second.tombstone ? Probe::kTombstone : Probe::kUpsert;
+    if (!it->second.tombstone) *payload = it->second.payload;
+    return Status::Ok();
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {  // newest first
+    StagedUpdate e;
+    bool found = false;
+    LIOD_RETURN_IF_ERROR(SearchRun(*run, key, &e, &found));
+    if (found) {
+      *result = e.tombstone ? Probe::kTombstone : Probe::kUpsert;
+      if (!e.tombstone) *payload = e.payload;
+      return Status::Ok();
+    }
+  }
+  *result = Probe::kMiss;
+  return Status::Ok();
+}
+
+Status UpdateBuffer::CollectFrom(Key start_key, std::vector<StagedUpdate>* out) const {
+  // Overlay oldest run -> newest run -> staging into one sorted map, so a
+  // younger verdict for a key overwrites an older one.
+  std::map<Key, Entry> merged;
+  for (const Run& run : runs_) {
+    if (run.max_key < start_key) continue;
+    // Binary search for the first entry >= start_key, then read the tail of
+    // the run sequentially (every touched block is a counted read).
+    std::size_t lo = 0, hi = run.entries;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      StagedUpdate e;
+      LIOD_RETURN_IF_ERROR(ReadRunEntry(run, mid, &e));
+      if (e.key < start_key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (std::size_t i = lo; i < run.entries; ++i) {
+      StagedUpdate e;
+      LIOD_RETURN_IF_ERROR(ReadRunEntry(run, i, &e));
+      merged[e.key] = Entry{e.payload, e.tombstone};
+    }
+  }
+  for (auto it = staged_.lower_bound(start_key); it != staged_.end(); ++it) {
+    merged[it->first] = it->second;
+  }
+  out->reserve(out->size() + merged.size());
+  for (const auto& [key, entry] : merged) {
+    out->push_back(StagedUpdate{key, entry.payload, entry.tombstone});
+  }
+  return Status::Ok();
+}
+
+bool UpdateBuffer::NeedsMerge() const {
+  // merge_threshold > 0 is validated by the owning decorator before any
+  // entry is staged.
+  const double fill = static_cast<double>(staged_.size() + spilled_records_);
+  return fill >= config_.merge_threshold * static_cast<double>(capacity_records_);
+}
+
+void UpdateBuffer::Clear() {
+  staged_.clear();
+  for (const Run& run : runs_) spill_file_->Free(run.first_block, run.blocks);
+  runs_.clear();
+  spilled_records_ = 0;
+}
+
+}  // namespace liod

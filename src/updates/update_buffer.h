@@ -1,0 +1,135 @@
+#ifndef LIOD_UPDATES_UPDATE_BUFFER_H_
+#define LIOD_UPDATES_UPDATE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+/// One staged out-of-place update: an upsert or a tombstone.
+struct StagedUpdate {
+  Key key = 0;
+  Payload payload = 0;
+  bool tombstone = false;
+
+  friend bool operator==(const StagedUpdate&, const StagedUpdate&) = default;
+};
+
+/// Configuration of one UpdateBuffer.
+struct UpdateBufferConfig {
+  /// Staging capacity, in blocks. The in-memory sorted staging area holds
+  /// budget_blocks * block_size / kEntryBytes records before spilling.
+  std::size_t budget_blocks = 64;
+  std::size_t block_size = 4096;
+  /// Merge trigger: NeedsMerge() once staged + spilled records reach
+  /// merge_threshold * staging capacity. Values > 1 allow spilled runs to
+  /// accumulate on disk before a merge.
+  double merge_threshold = 1.0;
+};
+
+/// Log-structured staging area for out-of-place updates: a sorted in-memory
+/// map of bounded capacity, spilled as append-only sorted runs into a
+/// PagedFile when it overflows. All spill/probe I/O flows through the file's
+/// buffer manager and is counted in the owning index's IoStats, exactly like
+/// the base index's own blocks -- the read/write amplification of
+/// out-of-place updates is measured, not assumed.
+///
+/// Newest-wins semantics: the staging area shadows every run, and a younger
+/// run shadows an older one. Single-threaded; the UpdateBufferedIndex
+/// decorator serializes access with its own mutex.
+class UpdateBuffer {
+ public:
+  /// On-disk footprint of one spilled entry: key, payload, tombstone flag
+  /// (padded to 8 bytes so runs need no packing logic).
+  static constexpr std::size_t kEntryBytes = 24;
+
+  /// `spill_file` is caller-owned and must outlive the buffer.
+  UpdateBuffer(const UpdateBufferConfig& config, PagedFile* spill_file);
+
+  /// Stages an upsert. Never performs I/O; the owner calls
+  /// SpillIfOverCapacity after deciding whether a merge drains first.
+  void Put(Key key, Payload payload);
+  /// Stages a tombstone.
+  void Delete(Key key);
+
+  /// Spills the staging area as one sorted run (sequential full-block
+  /// writes) when it has reached capacity. The owner calls this after the
+  /// merge trigger, so a staging area that is about to be drained anyway is
+  /// not pointlessly written to disk first.
+  Status SpillIfOverCapacity();
+
+  /// Result of probing the buffer for one key.
+  enum class Probe {
+    kMiss,       ///< key not buffered -- consult the base index
+    kUpsert,     ///< newest buffered verdict is an upsert; *payload set
+    kTombstone,  ///< newest buffered verdict is a delete
+  };
+
+  /// Probes staging, then runs newest-to-oldest (binary search over counted
+  /// block reads, fenced by in-memory min/max keys).
+  Status Lookup(Key key, Payload* payload, Probe* result);
+
+  /// Appends every buffered entry with key >= start_key to `out`, sorted by
+  /// key, newest-wins across staging and runs. Reads every qualifying run
+  /// entry (counted): a scan pays O(buffered volume) regardless of how many
+  /// entries reach its output -- the classic cost of scanning a
+  /// log-structured buffer, bounded by merge_threshold x capacity because
+  /// NeedsMerge drains the buffer at that volume. Used by merged scans and
+  /// by merges (start_key = 0).
+  Status CollectFrom(Key start_key, std::vector<StagedUpdate>* out) const;
+
+  /// True once buffered volume has reached the merge threshold.
+  bool NeedsMerge() const;
+
+  /// Drops all staged entries and frees every spilled run's blocks (invalid
+  /// space under the paper's no-reclamation default). Called after a merge
+  /// has applied the collected entries.
+  void Clear();
+
+  bool empty() const { return staged_.empty() && runs_.empty(); }
+  std::size_t staged_records() const { return staged_.size(); }
+  std::size_t spilled_records() const { return spilled_records_; }
+  std::size_t spilled_run_count() const { return runs_.size(); }
+  std::uint64_t total_spills() const { return total_spills_; }
+  /// Staging capacity in records (>= 1).
+  std::size_t capacity_records() const { return capacity_records_; }
+
+ private:
+  struct Entry {
+    Payload payload = 0;
+    bool tombstone = false;
+  };
+
+  /// One spilled sorted run: `entries` fixed-size records starting at block
+  /// `first_block`, fenced by [min_key, max_key].
+  struct Run {
+    BlockId first_block = 0;
+    std::uint32_t blocks = 0;
+    std::size_t entries = 0;
+    Key min_key = 0;
+    Key max_key = 0;
+  };
+
+  Status SpillStaging();
+  Status ReadRunEntry(const Run& run, std::size_t i, StagedUpdate* out) const;
+  /// Binary search for `key` within `run`; sets *found and fills *out.
+  Status SearchRun(const Run& run, Key key, StagedUpdate* out, bool* found) const;
+
+  UpdateBufferConfig config_;
+  PagedFile* spill_file_;  // non-owning
+  std::size_t capacity_records_;
+  std::map<Key, Entry> staged_;
+  std::vector<Run> runs_;  // oldest first
+  std::size_t spilled_records_ = 0;
+  std::uint64_t total_spills_ = 0;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_UPDATES_UPDATE_BUFFER_H_

@@ -108,11 +108,13 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
     }
   }
   result->cpu_us = ElapsedUs(ops_start);
-  // End-of-run flush: dirty frames deferred by write-back are paid (and
-  // counted) inside the measured window (no-op under write-through, where
-  // every frame is clean). The flush I/O appears in result->io but not in
-  // the per-op samples or cpu_us -- mirroring the concurrent runner, which
-  // also flushes after wall_us is taken.
+  // End-of-run flushes, both no-ops under the paper defaults: staged
+  // out-of-place updates are merged into the base structure (so every run
+  // ends with the same answer state as the in-place path), then dirty frames
+  // deferred by write-back are paid (and counted) inside the measured
+  // window. Neither lands in the per-op samples or cpu_us -- mirroring the
+  // concurrent runner, which also flushes after wall_us is taken.
+  LIOD_RETURN_IF_ERROR(index->FlushUpdates());
   LIOD_RETURN_IF_ERROR(index->FlushBuffers());
   result->io = index->io_stats().snapshot() - before_ops;
   result->operations = workload.ops.size();

@@ -9,10 +9,17 @@
 //            [--write-back] [--disk hdd|ssd|both] [--csv]
 //            [--inner-in-memory] [--scan-length 100] [--seed 42]
 //            [--threads 1] [--shards 1] [--zipf 0.99]
+//            [--update-buffer BLOCKS] [--merge-mode sync|background]
+//            [--merge-threshold F]
 //
 // --buffer is the paper's per-file frame budget; --buffer-budget N > 0
 // switches to one shared pool of N frames across all files (and across all
 // shards in engine mode, where the budget then spans the whole engine).
+//
+// --update-buffer N > 0 switches updates from the paper's in-place path to
+// the out-of-place UpdateBuffer decorator (N-block staging area), drained
+// per --merge-mode at --merge-threshold x capacity (threshold > 1 spills
+// sorted runs to disk before merging).
 //
 // With --threads/--shards > 1 execution routes through the ShardedEngine and
 // the multi-threaded ConcurrentRunner; the defaults (1/1) keep the classic
@@ -43,6 +50,9 @@ struct CliArgs {
   std::size_t buffer_budget = 0;  // 0 = per-file budgets
   std::string buffer_policy = "lru";
   bool write_back = false;
+  std::size_t update_buffer = 0;  // 0 = in-place updates (paper default)
+  std::string merge_mode = "sync";
+  double merge_threshold = 1.0;
   std::size_t scan_length = 100;
   std::size_t threads = 1;
   std::size_t shards = 1;
@@ -67,7 +77,9 @@ void Usage() {
       "           --buffer-policy lru|clock|fifo --buffer-budget BLOCKS (shared pool;\n"
       "             spans all shards in engine mode) --write-back\n"
       "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n"
-      "           --threads N --shards N (engine mode when either > 1) --zipf THETA\n");
+      "           --threads N --shards N (engine mode when either > 1) --zipf THETA\n"
+      "           --update-buffer BLOCKS (0 = in-place) --merge-mode sync|background\n"
+      "           --merge-threshold F (fraction of staging capacity; > 1 spills runs)\n");
 }
 
 bool Parse(int argc, char** argv, CliArgs* args) {
@@ -103,6 +115,12 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->buffer_budget = std::strtoull(v, nullptr, 10);
     } else if (a == "--buffer-policy") {
       args->buffer_policy = v;
+    } else if (a == "--update-buffer") {
+      args->update_buffer = std::strtoull(v, nullptr, 10);
+    } else if (a == "--merge-mode") {
+      args->merge_mode = v;
+    } else if (a == "--merge-threshold") {
+      args->merge_threshold = std::strtod(v, nullptr);
     } else if (a == "--scan-length") {
       args->scan_length = std::strtoull(v, nullptr, 10);
     } else if (a == "--threads") {
@@ -314,6 +332,19 @@ int main(int argc, char** argv) {
   options.alex_max_data_node_slots = 4096;
   if (!BufferPolicyFromName(args.buffer_policy, &options.buffer_policy)) {
     std::fprintf(stderr, "unknown buffer policy '%s'\n", args.buffer_policy.c_str());
+    Usage();
+    return 2;
+  }
+  if (args.merge_threshold <= 0.0) {
+    std::fprintf(stderr, "--merge-threshold must be > 0 (got %s)\n",
+                 std::to_string(args.merge_threshold).c_str());
+    Usage();
+    return 2;
+  }
+  options.update_buffer_blocks = args.update_buffer;
+  options.update_buffer_merge_threshold = args.merge_threshold;
+  if (!MergeModeFromName(args.merge_mode, &options.update_buffer_merge_mode)) {
+    std::fprintf(stderr, "unknown merge mode '%s'\n", args.merge_mode.c_str());
     Usage();
     return 2;
   }
