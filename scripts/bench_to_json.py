@@ -4,15 +4,17 @@
 Usage:
     bench_to_json.py LABEL=FILE.csv [LABEL=FILE.csv ...] [-o BENCH_smoke.json]
 
-Each input is one CSV emitted by ``liod_cli --csv`` (sequential or engine
-mode -- both carry a ``tput_ops_s`` column; the ``bench/*`` sweep binaries
+Each input is one CSV emitted by ``liod_cli --csv`` or ``bench/recovery_sweep``
+(both carry a ``tput_ops_s`` column; the other ``bench/*`` sweep binaries
 emit per-disk throughput columns instead and are not accepted). Every data
 row becomes one JSON record tagged with its label; the required columns
 (``tput_ops_s``, ``reads_per_op``, ``writes_per_op``) plus the identifying
 ``index``/``workload``/``ops`` columns must be present and numeric where
-numeric is expected. Any malformed input -- missing file, empty file, missing
-required column, non-numeric metric, truncated row -- exits non-zero with a
-diagnostic, so CI fails instead of uploading garbage.
+numeric is expected. The durability columns (``wal_writes``, ``replay_ms``)
+are optional but validated just as strictly when present: non-numeric or
+negative values fail the conversion. Any malformed input -- missing file,
+empty file, missing required column, non-numeric metric, truncated row --
+exits non-zero with a diagnostic, so CI fails instead of uploading garbage.
 
 The output seeds the repo's bench trajectory: one JSON artifact per CI run,
 keyed by stable labels, diffable across commits.
@@ -27,6 +29,9 @@ import sys
 REQUIRED_COLUMNS = ("index", "workload", "ops", "tput_ops_s", "reads_per_op",
                     "writes_per_op")
 NUMERIC_COLUMNS = ("ops", "tput_ops_s", "reads_per_op", "writes_per_op")
+# Durability columns (liod_cli --durability, bench/recovery_sweep): optional,
+# but when a CSV declares them they must parse and be non-negative.
+OPTIONAL_NUMERIC_COLUMNS = ("wal_writes", "replay_ms", "replayed_records")
 SCHEMA = "liod-bench-smoke/1"
 
 
@@ -55,12 +60,17 @@ def parse_csv(label: str, path: str) -> list:
                 fail(f"{label}: {path}:{lineno} has {len(row)} fields, header has "
                      f"{len(header)}")
             record = dict(zip(header, row))
-            for column in NUMERIC_COLUMNS:
+            present_optional = tuple(c for c in OPTIONAL_NUMERIC_COLUMNS if c in header)
+            for column in NUMERIC_COLUMNS + present_optional:
                 try:
                     record[column] = float(record[column])
                 except ValueError:
                     fail(f"{label}: {path}:{lineno} column '{column}' is not numeric: "
                          f"{record[column]!r}")
+            for column in present_optional:
+                if record[column] < 0:
+                    fail(f"{label}: {path}:{lineno} column '{column}' is negative: "
+                         f"{record[column]}")
             if record["ops"] <= 0:
                 fail(f"{label}: {path}:{lineno} reports no operations")
             if record["tput_ops_s"] <= 0:

@@ -16,7 +16,7 @@ binaries=(
   fig10_storage fig11_block_size fig12_tail_latency fig13_buffer_size
   fig14_overall table3_profiling table4_block_breakdown table5_hybrid_blocks
   ablation_alex_layout ablation_fiting_error ablation_storage_reuse
-  scaling_threads buffer_policy_sweep update_buffer_sweep
+  scaling_threads buffer_policy_sweep update_buffer_sweep recovery_sweep
 )
 
 # A missing binary means the build is incomplete: fail loudly up front
@@ -46,6 +46,10 @@ for b in "${binaries[@]}"; do
   if [[ "$b" == update_buffer_sweep ]]; then
     # Out-of-place vs in-place update path on the two featured datasets.
     extra=(--datasets fb,ycsb --write-bulk 60000 --write-ops 30000)
+  fi
+  if [[ "$b" == recovery_sweep ]]; then
+    # Durability policy x budget x checkpoint cadence; fb carries the story.
+    extra=(--datasets fb --write-bulk 60000 --write-ops 30000)
   fi
   "$exe" "${extra[@]}" "$@" | tee "$OUT_DIR/$b.txt"
   echo

@@ -72,7 +72,50 @@ inline bool MergeModeFromName(const std::string& name, MergeMode* out) {
   return true;
 }
 
-class BufferManager;  // storage/buffer_manager.h
+/// Durability of the buffered write path (src/recovery/). Decides when a
+/// staged Insert/Delete's write-ahead-log record reaches the device relative
+/// to the operation's return -- the classic commit-latency vs write-cost
+/// trade-off the LSM designs surveyed by "Are Updatable Learned Indexes
+/// Ready?" all pay. Only consulted by the out-of-place update decorator.
+enum class DurabilityPolicy {
+  kNone,         ///< no WAL at all (the paper's volatile setting; default)
+  kAsync,        ///< WAL records buffered in memory, written per full block;
+                 ///< a crash may lose the unwritten tail
+  kGroupCommit,  ///< WAL forced every wal_group_window operations (shared
+                 ///< across shards under a ShardedEngine)
+  kSyncPerOp,    ///< WAL forced before every operation returns
+};
+
+inline const char* DurabilityPolicyName(DurabilityPolicy policy) {
+  switch (policy) {
+    case DurabilityPolicy::kNone: return "none";
+    case DurabilityPolicy::kAsync: return "async";
+    case DurabilityPolicy::kGroupCommit: return "group-commit";
+    case DurabilityPolicy::kSyncPerOp: return "sync-per-op";
+  }
+  return "unknown";
+}
+
+/// Parses "none" / "async" / "group-commit" / "sync-per-op". Returns false on
+/// an unknown name.
+inline bool DurabilityPolicyFromName(const std::string& name, DurabilityPolicy* out) {
+  if (name == "none") {
+    *out = DurabilityPolicy::kNone;
+  } else if (name == "async") {
+    *out = DurabilityPolicy::kAsync;
+  } else if (name == "group-commit") {
+    *out = DurabilityPolicy::kGroupCommit;
+  } else if (name == "sync-per-op") {
+    *out = DurabilityPolicy::kSyncPerOp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class BufferManager;     // storage/buffer_manager.h
+class DurableSlot;       // recovery/durable_store.h
+class GroupCommitWindow; // recovery/wal_writer.h
 
 /// Shared configuration for every index in the library. Defaults follow the
 /// paper's experimental setup (Section 5.3). Each field documents its unit,
@@ -142,6 +185,46 @@ struct IndexOptions {
   /// and therefore one per shard under a ShardedEngine (kBackground).
   /// Consumed by UpdateBufferedIndex.
   MergeMode update_buffer_merge_mode = MergeMode::kSync;
+
+  /// Durability of the buffered write path (src/recovery/). Unit: enum;
+  /// default kNone, the paper's volatile setting: no WAL file is constructed
+  /// at all and every existing I/O count stays bit-exact. Any other value
+  /// requires the out-of-place update path (the factory wraps the index in
+  /// the UpdateBufferedIndex decorator even when update_buffer_blocks is 0,
+  /// which then uses a 1-block staging area) and gives every Insert/Delete a
+  /// write-ahead-log record (LSN + CRC, counted FileClass::kWal block I/O)
+  /// whose device write is scheduled per the policy. Consumed by
+  /// UpdateBufferedIndex.
+  DurabilityPolicy durability = DurabilityPolicy::kNone;
+
+  /// Group-commit window: WAL records from this many operations are forced
+  /// with one tail-block write. Unit: operations; default 8; consumed by
+  /// WalWriter when durability == kGroupCommit. Under a ShardedEngine the
+  /// window is shared across every shard's WAL (one commit window for the
+  /// whole engine), so the amortization survives sharding.
+  std::size_t wal_group_window = 8;
+
+  /// Checkpoint cadence in logged operations: every N Insert/Delete ops the
+  /// decorator snapshots its durable state and truncates the WAL. Unit:
+  /// operations; default 0 = checkpoint only after merges (every drain ends
+  /// with a checkpoint) and at FlushUpdates. Smaller values bound WAL replay
+  /// length at the price of more checkpoint I/O (bench/recovery_sweep).
+  /// Consumed by UpdateBufferedIndex when durability != kNone.
+  std::size_t checkpoint_every_ops = 0;
+
+  /// Non-owning escape hatch: devices the WAL and checkpoint files live on,
+  /// surviving the index so a RecoveryManager can rebuild from them after a
+  /// crash. Default nullptr: the decorator owns a private in-memory slot
+  /// (durability costs are still counted, but there is nothing to recover
+  /// from once the index dies). The slot must outlive the index. Consumed by
+  /// UpdateBufferedIndex when durability != kNone.
+  DurableSlot* durable_slot = nullptr;
+
+  /// Non-owning escape hatch: a shared group-commit window spanning several
+  /// WALs -- how ShardedEngine amortizes commits across shards. Default
+  /// nullptr: the decorator owns a private window. Must outlive the index.
+  /// Consumed by UpdateBufferedIndex when durability == kGroupCommit.
+  GroupCommitWindow* group_commit = nullptr;
 
   /// Unit: flag; default false; consumed by every index family. When true,
   /// inner-node files are pinned in main memory and their I/O is excluded

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <utility>
 
 #include "storage/block_device.h"
 
@@ -46,8 +47,14 @@ std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
   }
   auto file = std::make_unique<PagedFile>(std::move(device), buffer_manager_, &io_stats_,
                                           klass, file_options);
+  if (write_ahead_hook_) file->SetWriteAheadHook(write_ahead_hook_);
   files_.push_back(file.get());
   return file;
+}
+
+void DiskIndex::SetWriteAheadHook(std::function<Status()> hook) {
+  write_ahead_hook_ = std::move(hook);
+  for (PagedFile* file : files_) file->SetWriteAheadHook(write_ahead_hook_);
 }
 
 Status DiskIndex::Delete(Key key) {

@@ -2,6 +2,7 @@
 #define LIOD_CORE_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -113,6 +114,13 @@ class DiskIndex {
   /// file's dirty frames are discarded, not flushed.
   void ReleaseAuxFile(PagedFile* file) { RemoveFile(file); }
 
+  /// Installs a WAL-before-data hook on every data file of this index --
+  /// current and future (e.g. the file a PGM level merge creates mid-run).
+  /// The buffer manager invokes it before any deferred write-back of a dirty
+  /// frame, so the durability decorator can force its write-ahead log ahead
+  /// of the data pages it covers. Install before the index sees operations.
+  void SetWriteAheadHook(std::function<Status()> hook);
+
  protected:
   /// Creates a paged file of the given class honoring the shared options:
   /// buffer budget (per-file or shared), eviction policy, write-back,
@@ -141,6 +149,7 @@ class DiskIndex {
   std::unique_ptr<BufferManager> owned_buffer_manager_;
   BufferManager* buffer_manager_ = nullptr;
   std::vector<PagedFile*> files_;  // registry for DropCaches (non-owning)
+  std::function<Status()> write_ahead_hook_;  // applied to current + future files
 };
 
 }  // namespace liod

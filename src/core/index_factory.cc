@@ -44,8 +44,10 @@ std::unique_ptr<DiskIndex> MakeIndex(const std::string& name, const IndexOptions
   if (index == nullptr) return nullptr;
   // Out-of-place update mode: one decorator gives every factory index the
   // buffered write path with zero per-index changes. Disabled (the paper's
-  // in-place default) constructs nothing, keeping I/O bit-exact.
-  if (options.update_buffer_blocks > 0) {
+  // in-place default) constructs nothing, keeping I/O bit-exact. Durability
+  // is a property of that buffered path, so asking for it alone also wraps
+  // (with the decorator's minimal 1-block staging area).
+  if (options.update_buffer_blocks > 0 || options.durability != DurabilityPolicy::kNone) {
     index = std::make_unique<UpdateBufferedIndex>(options, std::move(index));
   }
   return index;

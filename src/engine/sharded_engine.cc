@@ -54,6 +54,23 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
     shard_options.shared_buffer_manager = shared_buffers_.get();
   }
 
+  DurableStore* durable_store = nullptr;
+  if (shard_options.durability != DurabilityPolicy::kNone) {
+    // Per-shard WALs: shard i logs to the store's slot i. Commit forcing is
+    // amortized through ONE group-commit window spanning every shard, so the
+    // window fills at the engine's aggregate operation rate.
+    durable_store = options_.durable_store;
+    if (durable_store == nullptr) {
+      owned_durable_store_ = std::make_unique<DurableStore>(shard_options.block_size);
+      durable_store = owned_durable_store_.get();
+    }
+    if (shard_options.durability == DurabilityPolicy::kGroupCommit &&
+        shard_options.group_commit == nullptr) {
+      group_commit_ = std::make_unique<GroupCommitWindow>(shard_options.wal_group_window);
+      shard_options.group_commit = group_commit_.get();
+    }
+  }
+
   // Equal-count cut points over the sorted bulkload set; shard i owns keys in
   // [records[cuts[i]].key, records[cuts[i+1]].key).
   std::vector<std::size_t> cuts(num_shards + 1);
@@ -65,11 +82,14 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
 
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    if (durable_store != nullptr) shard_options.durable_slot = durable_store->slot(i);
     shard->index = MakeIndex(options_.index_name, shard_options);
     if (shard->index == nullptr) {
       shards_.clear();
       lower_bounds_.clear();
       shared_buffers_.reset();
+      group_commit_.reset();
+      owned_durable_store_.reset();
       return Status::InvalidArgument("ShardedEngine: unknown index '" + options_.index_name +
                                      "'");
     }
@@ -96,6 +116,8 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
       shards_.clear();
       lower_bounds_.clear();
       shared_buffers_.reset();
+      group_commit_.reset();
+      owned_durable_store_.reset();
       return status;
     }
   }

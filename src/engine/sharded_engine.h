@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/index.h"
+#include "recovery/durable_store.h"
+#include "recovery/wal_writer.h"
 #include "storage/io_stats.h"
 
 namespace liod {
@@ -26,6 +28,14 @@ struct EngineOptions {
   /// counters stay attributed to the owning shard. Default false: each shard
   /// buffers independently, preserving per-shard I/O isolation.
   bool share_buffers_across_shards = false;
+
+  /// Durable storage for the shards' WAL/checkpoint files when
+  /// index.durability != kNone: shard i logs to slot i (per-shard WALs).
+  /// Non-owning; must outlive the engine. Default nullptr: the engine owns a
+  /// private store, so durability costs are priced but a crashed engine
+  /// cannot be recovered. Inject a store (and keep it) to recover shards
+  /// individually via RecoveryManager with the same shard count.
+  DurableStore* durable_store = nullptr;
 };
 
 /// Key-range-sharded concurrent execution engine.
@@ -122,6 +132,11 @@ class ShardedEngine {
   /// Declared before shards_ so shards (whose files unregister on
   /// destruction) are destroyed first.
   std::unique_ptr<BufferManager> shared_buffers_;
+  /// Engine-owned durable store (durability on, none injected) and the
+  /// cross-shard group-commit window. Both declared before shards_: shards
+  /// reference them until destroyed.
+  std::unique_ptr<DurableStore> owned_durable_store_;
+  std::unique_ptr<GroupCommitWindow> group_commit_;
   std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: stable mutexes
   std::vector<Key> lower_bounds_;
 };

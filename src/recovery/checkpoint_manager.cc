@@ -1,0 +1,184 @@
+#include "recovery/checkpoint_manager.h"
+
+#include <cstring>
+
+#include "recovery/wal_format.h"
+#include "storage/block.h"
+
+namespace liod {
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4B504843;  // "CHPK"
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::size_t kManifestBytes = 52;
+constexpr std::size_t kSnapshotEntryBytes = 24;  // key, payload, flags
+
+/// Parsed manifest block (one of the two alternating slots).
+struct Manifest {
+  std::uint64_t seqno = 0;
+  std::uint64_t lsn = 0;
+  std::uint64_t entries = 0;
+  BlockId payload_start = 0;
+  std::uint32_t payload_blocks = 0;
+  std::uint32_t payload_crc = 0;
+  BlockId wal_start_block = 0;
+};
+
+void EncodeManifest(const Manifest& m, std::byte* out) {
+  std::memcpy(out, &kManifestMagic, 4);
+  std::memcpy(out + 4, &kManifestVersion, 4);
+  std::memcpy(out + 8, &m.seqno, 8);
+  std::memcpy(out + 16, &m.lsn, 8);
+  std::memcpy(out + 24, &m.entries, 8);
+  std::memcpy(out + 32, &m.payload_start, 4);
+  std::memcpy(out + 36, &m.payload_blocks, 4);
+  std::memcpy(out + 40, &m.payload_crc, 4);
+  std::memcpy(out + 44, &m.wal_start_block, 4);
+  const std::uint32_t crc = Crc32c(out, 48);
+  std::memcpy(out + 48, &crc, 4);
+}
+
+bool DecodeManifest(const std::byte* in, Manifest* out) {
+  std::uint32_t magic = 0, version = 0, crc = 0;
+  std::memcpy(&magic, in, 4);
+  std::memcpy(&version, in + 4, 4);
+  std::memcpy(&crc, in + 48, 4);
+  if (magic != kManifestMagic || version != kManifestVersion) return false;
+  if (crc != Crc32c(in, 48)) return false;
+  std::memcpy(&out->seqno, in + 8, 8);
+  std::memcpy(&out->lsn, in + 16, 8);
+  std::memcpy(&out->entries, in + 24, 8);
+  std::memcpy(&out->payload_start, in + 32, 4);
+  std::memcpy(&out->payload_blocks, in + 36, 4);
+  std::memcpy(&out->payload_crc, in + 40, 4);
+  std::memcpy(&out->wal_start_block, in + 44, 4);
+  return true;
+}
+
+void EncodeSnapshotEntry(const StagedUpdate& e, std::byte* out) {
+  const std::uint64_t flags = e.tombstone ? 1 : 0;
+  std::memcpy(out, &e.key, 8);
+  std::memcpy(out + 8, &e.payload, 8);
+  std::memcpy(out + 16, &flags, 8);
+}
+
+StagedUpdate DecodeSnapshotEntry(const std::byte* in) {
+  StagedUpdate e;
+  std::uint64_t flags = 0;
+  std::memcpy(&e.key, in, 8);
+  std::memcpy(&e.payload, in + 8, 8);
+  std::memcpy(&flags, in + 16, 8);
+  e.tombstone = (flags & 1) != 0;
+  return e;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(PagedFile* file) : file_(file) {
+  static_assert(kManifestBytes <= 512, "manifest must fit the smallest block");
+  // Blocks 0 and 1 are the manifest slots. Grow zero-fills, so an untouched
+  // slot reads as no-checkpoint.
+  if (file_->allocated_blocks() < 2) (void)file_->AllocateRun(2);
+}
+
+void CheckpointManager::Note(const StagedUpdate& update) {
+  applied_[update.key] = Entry{update.payload, update.tombstone};
+}
+
+void CheckpointManager::Seed(std::vector<StagedUpdate> entries, std::uint64_t seqno_floor) {
+  for (const StagedUpdate& e : entries) Note(e);
+  if (seqno_floor > seqno_) seqno_ = seqno_floor;
+}
+
+Status CheckpointManager::Write(std::uint64_t lsn, BlockId wal_start_block) {
+  Manifest m;
+  m.seqno = seqno_ + 1;
+  m.lsn = lsn;
+  m.entries = applied_.size();
+  m.wal_start_block = wal_start_block;
+
+  // 1. Snapshot payload to fresh blocks (the previous checkpoint stays
+  //    intact and reachable through the previous manifest until step 2).
+  const std::size_t bs = file_->block_size();
+  if (!applied_.empty()) {
+    const std::size_t bytes = applied_.size() * kSnapshotEntryBytes;
+    const std::uint32_t blocks = static_cast<std::uint32_t>((bytes + bs - 1) / bs);
+    std::vector<std::byte> payload(static_cast<std::size_t>(blocks) * bs);
+    std::size_t i = 0;
+    for (const auto& [key, entry] : applied_) {
+      EncodeSnapshotEntry(StagedUpdate{key, entry.payload, entry.tombstone},
+                          payload.data() + i * kSnapshotEntryBytes);
+      ++i;
+    }
+    m.payload_start = file_->AllocateRun(blocks);
+    m.payload_blocks = blocks;
+    m.payload_crc = Crc32c(payload.data(), bytes);
+    LIOD_RETURN_IF_ERROR(file_->WriteBytes(static_cast<std::uint64_t>(m.payload_start) * bs,
+                                           payload.size(), payload.data()));
+  }
+
+  // 2. Commit: one manifest-block write to the slot the previous checkpoint
+  //    does NOT occupy. A torn write corrupts only this slot's CRC and the
+  //    loader falls back to the other.
+  BlockBuffer block(bs);
+  block.Zero();
+  EncodeManifest(m, block.data());
+  LIOD_RETURN_IF_ERROR(
+      file_->WriteBlock(static_cast<BlockId>(m.seqno % 2), block.data()));
+
+  // 3. The previous payload is now unreachable; account it as invalid space
+  //    (its content stays readable, which keeps the fallback manifest usable
+  //    even though it is now one generation stale).
+  if (prev_payload_blocks_ > 0) file_->Free(prev_payload_start_, prev_payload_blocks_);
+  prev_payload_start_ = m.payload_start;
+  prev_payload_blocks_ = m.payload_blocks;
+  seqno_ = m.seqno;
+  return Status::Ok();
+}
+
+Status CheckpointManager::Load(PagedFile* file, LoadedCheckpoint* out) {
+  *out = LoadedCheckpoint{};
+  if (file->allocated_blocks() < 2) return Status::Ok();  // fresh device
+
+  BlockBuffer block(file->block_size());
+  Manifest best;
+  bool have_best = false;
+  for (BlockId slot = 0; slot < 2; ++slot) {
+    LIOD_RETURN_IF_ERROR(file->ReadBlock(slot, block.data()));
+    ++out->blocks_read;
+    Manifest m;
+    if (DecodeManifest(block.data(), &m) && (!have_best || m.seqno > best.seqno)) {
+      best = m;
+      have_best = true;
+    }
+  }
+  if (!have_best) return Status::Ok();
+
+  const std::size_t bs = file->block_size();
+  const std::uint64_t bytes = best.entries * kSnapshotEntryBytes;
+  if (best.payload_blocks * bs < bytes ||
+      best.payload_start + best.payload_blocks > file->allocated_blocks()) {
+    return Status::Corruption("checkpoint manifest payload extent out of range");
+  }
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) {
+    LIOD_RETURN_IF_ERROR(file->ReadBytes(static_cast<std::uint64_t>(best.payload_start) * bs,
+                                         bytes, payload.data()));
+    out->blocks_read += best.payload_blocks;
+    if (Crc32c(payload.data(), bytes) != best.payload_crc) {
+      return Status::Corruption("checkpoint payload CRC mismatch");
+    }
+  }
+  out->found = true;
+  out->seqno = best.seqno;
+  out->lsn = best.lsn;
+  out->wal_start_block = best.wal_start_block;
+  out->entries.reserve(best.entries);
+  for (std::uint64_t i = 0; i < best.entries; ++i) {
+    out->entries.push_back(DecodeSnapshotEntry(payload.data() + i * kSnapshotEntryBytes));
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -1,0 +1,86 @@
+#ifndef LIOD_RECOVERY_CHECKPOINT_MANAGER_H_
+#define LIOD_RECOVERY_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/paged_file.h"
+#include "updates/update_buffer.h"
+
+namespace liod {
+
+/// State a checkpoint makes durable, and what a loader gets back.
+struct LoadedCheckpoint {
+  bool found = false;                ///< false: no valid checkpoint on the device
+  std::uint64_t seqno = 0;           ///< manifest sequence number (resume floor)
+  std::uint64_t lsn = 0;             ///< every update with lsn <= this is covered
+  BlockId wal_start_block = 0;       ///< first block of the post-checkpoint WAL epoch
+  std::vector<StagedUpdate> entries; ///< cumulative update set, sorted by key
+  std::uint64_t blocks_read = 0;     ///< counted reads the load performed
+};
+
+/// Durable snapshots of the buffered write path's logical state.
+///
+/// The base indexes have no open-existing path (Bulkload is their only
+/// construction route, mirroring the paper's evaluation), so a checkpoint
+/// cannot point at base-index blocks the way ARIES points at table pages.
+/// Instead it snapshots the CUMULATIVE update set since bulkload -- every
+/// key's newest upsert-or-tombstone verdict across staging, spilled runs,
+/// the resident overlay, and updates already merged into the base --
+/// maintained incrementally (one map update per logged operation) and
+/// written in full at each checkpoint. Recovery is then
+/// bulkload + checkpoint entries + WAL tail, the same contract as a DBMS
+/// re-opening immutable table files and replaying its log. Memory and
+/// checkpoint-write cost are proportional to distinct updated keys, like the
+/// tombstone overlay; DESIGN.md documents the trade.
+///
+/// Crash safety: the snapshot payload is written to fresh blocks first; the
+/// manifest (blocks 0 and 1, alternating by sequence number, each
+/// self-CRC'd) commits it only afterwards. A crash mid-payload leaves the
+/// previous manifest pointing at the previous payload; a torn manifest write
+/// corrupts one slot and the loader falls back to the other.
+class CheckpointManager {
+ public:
+  /// `file` is caller-owned and must outlive the manager. Reserves the two
+  /// manifest blocks on a fresh file.
+  explicit CheckpointManager(PagedFile* file);
+
+  /// Folds one logged update into the cumulative set (newest wins). Called
+  /// for every WAL append, after the append succeeds.
+  void Note(const StagedUpdate& update);
+
+  /// Seeds the cumulative set after recovery (checkpoint entries + replayed
+  /// tail, already folded).
+  void Seed(std::vector<StagedUpdate> entries, std::uint64_t seqno_floor);
+
+  std::size_t tracked_keys() const { return applied_.size(); }
+  std::uint64_t checkpoints_written() const { return seqno_; }
+
+  /// Writes one checkpoint covering every update with lsn <= `lsn`; the WAL
+  /// continues at `wal_start_block`. Fails without damaging the previous
+  /// checkpoint.
+  Status Write(std::uint64_t lsn, BlockId wal_start_block);
+
+  /// Loads the newest valid checkpoint, if any. A file with no (or no
+  /// valid) manifest yields found == false and is not an error.
+  static Status Load(PagedFile* file, LoadedCheckpoint* out);
+
+ private:
+  struct Entry {
+    Payload payload = 0;
+    bool tombstone = false;
+  };
+
+  PagedFile* const file_;  // non-owning
+  std::map<Key, Entry> applied_;
+  std::uint64_t seqno_ = 0;       ///< of the last written manifest
+  BlockId prev_payload_start_ = 0;
+  std::uint32_t prev_payload_blocks_ = 0;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_RECOVERY_CHECKPOINT_MANAGER_H_

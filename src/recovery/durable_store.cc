@@ -1,0 +1,22 @@
+#include "recovery/durable_store.h"
+
+#include <utility>
+
+namespace liod {
+
+DurableSlot::DurableSlot(std::size_t block_size)
+    : wal_device_(std::make_unique<MemoryBlockDevice>(block_size)),
+      checkpoint_device_(std::make_unique<MemoryBlockDevice>(block_size)) {}
+
+DurableSlot::DurableSlot(std::unique_ptr<BlockDevice> wal_device,
+                         std::unique_ptr<BlockDevice> checkpoint_device)
+    : wal_device_(std::move(wal_device)), checkpoint_device_(std::move(checkpoint_device)) {}
+
+DurableSlot* DurableStore::slot(std::size_t i) {
+  while (slots_.size() <= i) {
+    slots_.push_back(std::make_unique<DurableSlot>(block_size_));
+  }
+  return slots_[i].get();
+}
+
+}  // namespace liod

@@ -1,0 +1,87 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/wal_reader.h"
+#include "updates/buffered_index.h"
+
+namespace liod {
+
+Status RecoveryManager::Recover(DurableSlot* slot, const std::string& index_name,
+                                const IndexOptions& options, std::span<const Record> bulk,
+                                RecoveryResult* out, IoStats* recovery_io) {
+  *out = RecoveryResult{};
+  if (slot == nullptr) {
+    return Status::InvalidArgument("RecoveryManager: null durable slot");
+  }
+  if (options.durability == DurabilityPolicy::kNone) {
+    return Status::InvalidArgument(
+        "RecoveryManager: the crashed configuration must have durability != none");
+  }
+
+  // --- analysis: checkpoint, then the WAL's committed tail ------------------
+  const auto analysis_start = std::chrono::steady_clock::now();
+  IoStats local_io;
+  IoStats* stats = recovery_io != nullptr ? recovery_io : &local_io;
+  LoadedCheckpoint checkpoint;
+  WalReplay replay;
+  {
+    // Read-only views over the slot; destroyed before the rebuilt index
+    // opens its own.
+    PagedFileOptions file_options;
+    PagedFile checkpoint_file(std::make_unique<BorrowedBlockDevice>(slot->checkpoint_device()),
+                              stats, FileClass::kWal, file_options);
+    LIOD_RETURN_IF_ERROR(CheckpointManager::Load(&checkpoint_file, &checkpoint));
+    PagedFile wal_file(std::make_unique<BorrowedBlockDevice>(slot->wal_device()), stats,
+                       FileClass::kWal, file_options);
+    LIOD_RETURN_IF_ERROR(WalReader::Scan(&wal_file, checkpoint.wal_start_block,
+                                         checkpoint.lsn, &replay));
+  }
+  out->checkpoint_lsn = checkpoint.lsn;
+  out->checkpoint_entries = checkpoint.entries.size();
+  out->checkpoint_blocks_read = checkpoint.blocks_read;
+  out->replayed_records = replay.records.size();
+  out->wal_blocks_read = replay.blocks_read;
+  out->torn_tail = replay.torn_tail;
+  out->max_lsn = std::max(checkpoint.lsn, replay.max_lsn);
+
+  // --- redo: checkpoint entries overlaid by the replayed tail (newest wins)
+  std::map<Key, StagedUpdate> recovered;
+  for (const StagedUpdate& e : checkpoint.entries) recovered[e.key] = e;
+  for (const WalRecord& r : replay.records) {
+    recovered[r.key] =
+        StagedUpdate{r.key, r.payload, r.type == WalRecordType::kTombstone};
+  }
+  std::vector<StagedUpdate> updates;
+  updates.reserve(recovered.size());
+  for (const auto& [key, e] : recovered) updates.push_back(e);
+  out->analysis_cpu_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - analysis_start)
+                             .count();
+
+  // --- rebuild --------------------------------------------------------------
+  IndexOptions rebuilt_options = options;
+  rebuilt_options.durable_slot = slot;
+  std::unique_ptr<DiskIndex> index = MakeIndex(index_name, rebuilt_options);
+  if (index == nullptr) {
+    return Status::InvalidArgument("RecoveryManager: unknown index '" + index_name + "'");
+  }
+  auto* durable = dynamic_cast<UpdateBufferedIndex*>(index.get());
+  if (durable == nullptr) {
+    return Status::InvalidArgument(
+        "RecoveryManager: configuration did not produce a durable buffered index");
+  }
+  LIOD_RETURN_IF_ERROR(durable->Bulkload(bulk));
+  LIOD_RETURN_IF_ERROR(
+      durable->ApplyRecovered(out->max_lsn, checkpoint.seqno, std::move(updates)));
+  out->index = std::move(index);
+  return Status::Ok();
+}
+
+}  // namespace liod

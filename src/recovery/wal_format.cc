@@ -1,0 +1,74 @@
+#include "recovery/wal_format.h"
+
+#include <array>
+#include <cstring>
+
+namespace liod {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);  // reflected Castagnoli
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const std::byte* data, std::size_t length, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrc32cTable();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < length; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint32_t>(data[i])) & 0xFF];
+  }
+  return ~crc;
+}
+
+void EncodeWalRecord(const WalRecord& record, std::byte* out) {
+  std::memset(out, 0, kWalRecordBytes);
+  const std::uint32_t type = static_cast<std::uint32_t>(record.type);
+  std::memcpy(out, &kWalRecordMagic, 4);
+  std::memcpy(out + 4, &type, 4);
+  std::memcpy(out + 8, &record.lsn, 8);
+  std::memcpy(out + 16, &record.key, 8);
+  std::memcpy(out + 24, &record.payload, 8);
+  // bytes [32, 40): reserved, zero
+  const std::uint32_t crc = Crc32c(out, 40);
+  std::memcpy(out + 40, &crc, 4);
+  // bytes [44, 48): pad, zero
+}
+
+WalDecode DecodeWalRecord(const std::byte* in, WalRecord* out) {
+  bool all_zero = true;
+  for (std::size_t i = 0; i < kWalRecordBytes; ++i) {
+    if (in[i] != std::byte{0}) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) return WalDecode::kEmpty;
+
+  std::uint32_t magic = 0, type = 0, crc = 0;
+  std::memcpy(&magic, in, 4);
+  std::memcpy(&type, in + 4, 4);
+  std::memcpy(&crc, in + 40, 4);
+  if (magic != kWalRecordMagic) return WalDecode::kCorrupt;
+  if (crc != Crc32c(in, 40)) return WalDecode::kCorrupt;
+  if (type != static_cast<std::uint32_t>(WalRecordType::kUpsert) &&
+      type != static_cast<std::uint32_t>(WalRecordType::kTombstone)) {
+    return WalDecode::kCorrupt;
+  }
+  out->type = static_cast<WalRecordType>(type);
+  std::memcpy(&out->lsn, in + 8, 8);
+  std::memcpy(&out->key, in + 16, 8);
+  std::memcpy(&out->payload, in + 24, 8);
+  return WalDecode::kValid;
+}
+
+}  // namespace liod

@@ -1,0 +1,61 @@
+#ifndef LIOD_RECOVERY_WAL_FORMAT_H_
+#define LIOD_RECOVERY_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace liod {
+
+/// On-disk write-ahead-log record. One fixed-size record per logged
+/// Insert/Delete; records are packed into blocks and never span a block
+/// boundary, so a torn block write can corrupt records but never split one
+/// across two failure domains. The CRC (over every preceding field) is what
+/// replay uses for torn-tail detection: the committed prefix of the log ends
+/// at the first slot that is neither a valid record nor zero padding.
+enum class WalRecordType : std::uint32_t {
+  kUpsert = 1,
+  kTombstone = 2,
+};
+
+/// In-memory form of one record.
+struct WalRecord {
+  std::uint64_t lsn = 0;  ///< log sequence number, strictly increasing from 1
+  WalRecordType type = WalRecordType::kUpsert;
+  Key key = 0;
+  Payload payload = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Serialized size: magic(4) type(4) lsn(8) key(8) payload(8) reserved(8)
+/// crc(4) pad(4).
+inline constexpr std::size_t kWalRecordBytes = 48;
+inline constexpr std::uint32_t kWalRecordMagic = 0x524C4157;  // "WALR"
+
+/// Records per block (the tail of each block stays zero padding).
+inline constexpr std::size_t WalRecordsPerBlock(std::size_t block_size) {
+  return block_size / kWalRecordBytes;
+}
+
+/// CRC-32C (Castagnoli), the polynomial used by iSCSI/ext4 and most WAL
+/// implementations. Plain table-driven software version: the WAL is a few
+/// records per operation, so throughput is irrelevant next to block I/O.
+std::uint32_t Crc32c(const std::byte* data, std::size_t length, std::uint32_t seed = 0);
+
+/// Serializes `record` (including magic and CRC) into kWalRecordBytes bytes.
+void EncodeWalRecord(const WalRecord& record, std::byte* out);
+
+/// Verdict of decoding one record slot.
+enum class WalDecode {
+  kValid,    ///< magic and CRC check out; *out filled
+  kEmpty,    ///< all-zero slot: block padding / never-written space
+  kCorrupt,  ///< non-zero but invalid: torn or corrupted write
+};
+
+WalDecode DecodeWalRecord(const std::byte* in, WalRecord* out);
+
+}  // namespace liod
+
+#endif  // LIOD_RECOVERY_WAL_FORMAT_H_

@@ -1,0 +1,32 @@
+#include "recovery/wal_reader.h"
+
+#include "storage/block.h"
+
+namespace liod {
+
+Status WalReader::Scan(PagedFile* file, BlockId start_block, std::uint64_t after_lsn,
+                       WalReplay* out) {
+  *out = WalReplay{};
+  const std::size_t per_block = WalRecordsPerBlock(file->block_size());
+  BlockBuffer block(file->block_size());
+  const BlockId end = static_cast<BlockId>(file->allocated_blocks());
+  for (BlockId b = start_block; b < end && !out->torn_tail; ++b) {
+    LIOD_RETURN_IF_ERROR(file->ReadBlock(b, block.data()));
+    ++out->blocks_read;
+    for (std::size_t i = 0; i < per_block; ++i) {
+      WalRecord record;
+      const WalDecode verdict =
+          DecodeWalRecord(block.data() + i * kWalRecordBytes, &record);
+      if (verdict == WalDecode::kEmpty) break;  // padding: resume at next block
+      if (verdict == WalDecode::kCorrupt || record.lsn <= out->max_lsn) {
+        out->torn_tail = true;
+        break;
+      }
+      out->max_lsn = record.lsn;
+      if (record.lsn > after_lsn) out->records.push_back(record);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

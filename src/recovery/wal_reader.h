@@ -1,0 +1,47 @@
+#ifndef LIOD_RECOVERY_WAL_READER_H_
+#define LIOD_RECOVERY_WAL_READER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "recovery/wal_format.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+/// Result of scanning one WAL for its committed prefix.
+struct WalReplay {
+  /// Records with lsn > the requested after_lsn, in log (= LSN) order.
+  std::vector<WalRecord> records;
+  /// Highest LSN seen in the committed prefix (0 if the log is empty),
+  /// including records at or below after_lsn.
+  std::uint64_t max_lsn = 0;
+  /// Counted block reads the scan performed.
+  std::uint64_t blocks_read = 0;
+  /// True when the scan stopped at a corrupt slot (torn tail) rather than
+  /// the clean end of the log.
+  bool torn_tail = false;
+};
+
+/// Replays a WAL file written by WalWriter. The committed prefix ends at the
+/// first slot that fails validation:
+///
+///  - a valid record extends the prefix (LSNs must be strictly increasing;
+///    a regression is treated as corruption),
+///  - an all-zero slot ends the current block (zero padding after a partial
+///    tail, or a tail block abandoned by a pre-checkpoint session); the scan
+///    continues with the next block,
+///  - anything else is a torn or corrupted write: the scan stops and flags
+///    torn_tail -- exactly the records before it are recovered.
+class WalReader {
+ public:
+  /// Scans `file` from `start_block` (the manifest's epoch start) to the
+  /// file's high-water mark, collecting records with lsn > after_lsn.
+  static Status Scan(PagedFile* file, BlockId start_block, std::uint64_t after_lsn,
+                     WalReplay* out);
+};
+
+}  // namespace liod
+
+#endif  // LIOD_RECOVERY_WAL_READER_H_

@@ -1,0 +1,187 @@
+#include "recovery/wal_writer.h"
+
+#include <algorithm>
+
+namespace liod {
+
+GroupCommitWindow::GroupCommitWindow(std::size_t window_ops)
+    : window_ops_(std::max<std::size_t>(1, window_ops)) {}
+
+void GroupCommitWindow::Register(WalWriter* writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writers_.push_back(writer);
+}
+
+void GroupCommitWindow::Unregister(WalWriter* writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(writers_, writer);
+}
+
+Status GroupCommitWindow::OnOperation() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++pending_ops_ < window_ops_) return Status::Ok();
+  pending_ops_ = 0;
+  ++commits_;
+  // One boundary forces every registered WAL's tail: a writer with nothing
+  // unforced pays nothing, so the cross-shard cost is one block write per
+  // shard that actually logged inside the window.
+  Status first;
+  for (WalWriter* writer : writers_) {
+    const Status status = writer->Sync();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  return first;
+}
+
+std::uint64_t GroupCommitWindow::commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commits_;
+}
+
+WalWriter::WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group)
+    : file_(file),
+      policy_(policy),
+      group_(group),
+      records_per_block_(WalRecordsPerBlock(file->block_size())),
+      tail_(file->block_size(), std::byte{0}),
+      epoch_start_(static_cast<BlockId>(file->allocated_blocks())) {
+  if (group_ != nullptr) group_->Register(this);
+}
+
+WalWriter::~WalWriter() {
+  // No shutdown sync: a destructor is indistinguishable from a crash, and
+  // clean shutdowns reach durability through FlushUpdates' checkpoint.
+  if (group_ != nullptr) group_->Unregister(this);
+}
+
+Status WalWriter::SyncLocked() {
+  if (unsynced_records_ == 0) return Status::Ok();
+  LIOD_RETURN_IF_ERROR(file_->WriteBlock(tail_block_, tail_.data()));
+  unsynced_records_ = 0;
+  ++sync_writes_;
+  return Status::Ok();
+}
+
+void WalWriter::RollbackTailRecordLocked() {
+  // Un-stage the record the failing Append just placed: zero its slot,
+  // release its LSN, and shrink the tail. Nothing of the failed operation
+  // can reach the device through a later force, so "Append failed" reliably
+  // means "this record will never be recovered" -- and the tail can never be
+  // left full, so the next Append has a valid slot to encode into.
+  --tail_records_;
+  --unsynced_records_;
+  --next_lsn_;
+  std::fill(tail_.begin() + tail_records_ * kWalRecordBytes,
+            tail_.begin() + (tail_records_ + 1) * kWalRecordBytes, std::byte{0});
+}
+
+Status WalWriter::AppendLocked(WalRecordType type, Key key, Payload payload,
+                               std::uint64_t* lsn, bool* block_filled) {
+  *block_filled = false;
+  if (tail_block_ == kInvalidBlock) {
+    tail_block_ = file_->Allocate();
+    std::fill(tail_.begin(), tail_.end(), std::byte{0});
+    tail_records_ = 0;
+  }
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.type = type;
+  record.key = key;
+  record.payload = payload;
+  EncodeWalRecord(record, tail_.data() + tail_records_ * kWalRecordBytes);
+  ++next_lsn_;
+  ++tail_records_;
+  ++unsynced_records_;
+  if (lsn != nullptr) *lsn = record.lsn;
+  if (tail_records_ == records_per_block_) {
+    // A full block is always written out, under every policy: the in-memory
+    // tail only ever holds the last, partial block. On failure the new
+    // record is rolled back (the earlier, already-acknowledged records stay
+    // staged for the retry the next force performs).
+    const Status status = SyncLocked();
+    if (!status.ok()) {
+      RollbackTailRecordLocked();
+      return status;
+    }
+    tail_block_ = kInvalidBlock;
+    *block_filled = true;
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Append(WalRecordType type, Key key, Payload payload, std::uint64_t* lsn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool block_filled = false;
+    LIOD_RETURN_IF_ERROR(AppendLocked(type, key, payload, lsn, &block_filled));
+    if (policy_ == DurabilityPolicy::kSyncPerOp && !block_filled) {
+      const Status status = SyncLocked();
+      if (!status.ok()) {
+        // The record never reached the device (the whole tail write failed):
+        // roll it back so a later successful force of this tail cannot make
+        // an operation durable that its caller was told failed.
+        RollbackTailRecordLocked();
+        return status;
+      }
+    }
+  }
+  // The window is notified outside the writer mutex: a boundary syncs every
+  // registered writer, including this one. A window-force failure fails this
+  // operation, but the window's records (this one and the up-to-window-1
+  // already-acknowledged ones before it) stay staged for the next force --
+  // under group commit an errored operation's outcome is "unknown until the
+  // next successful force or the crash", the documented bounded-loss gap.
+  if (policy_ == DurabilityPolicy::kGroupCommit && group_ != nullptr) {
+    return group_->OnOperation();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+std::uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+std::uint64_t WalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+void WalWriter::set_next_lsn(std::uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_lsn_ = lsn;
+}
+
+std::uint64_t WalWriter::sync_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_writes_;
+}
+
+BlockId WalWriter::NextEpochStart() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The next record after a checkpoint must land in a block holding no
+  // pre-checkpoint records, so whole blocks stay truncatable. Blocks are
+  // allocated sequentially and never recycled, so the high-water mark is
+  // exactly that block.
+  return static_cast<BlockId>(file_->allocated_blocks());
+}
+
+Status WalWriter::BeginEpoch(BlockId epoch_start) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LIOD_RETURN_IF_ERROR(SyncLocked());  // defensive; the checkpoint synced already
+  const BlockId high_water = static_cast<BlockId>(file_->allocated_blocks());
+  if (high_water > epoch_start_) {
+    file_->Free(epoch_start_, high_water - epoch_start_);
+  }
+  tail_block_ = kInvalidBlock;
+  tail_records_ = 0;
+  epoch_start_ = epoch_start;
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -1,0 +1,145 @@
+#ifndef LIOD_RECOVERY_WAL_WRITER_H_
+#define LIOD_RECOVERY_WAL_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "recovery/wal_format.h"
+#include "storage/paged_file.h"
+
+namespace liod {
+
+class WalWriter;
+
+/// Shared commit window: one counter of appended-but-unforced operations
+/// across any number of WalWriters. When the window fills, every registered
+/// writer's tail is forced with one block write each -- the group-commit
+/// amortization, spanning all shards of a ShardedEngine when the engine
+/// injects one window into every shard's options.
+///
+/// Lock order: the window mutex is taken with at most a shard mutex held
+/// above it, and takes writer mutexes below it; writers never call back into
+/// the window while holding their own mutex.
+class GroupCommitWindow {
+ public:
+  /// `window_ops` operations are absorbed per forced commit (>= 1).
+  explicit GroupCommitWindow(std::size_t window_ops);
+
+  GroupCommitWindow(const GroupCommitWindow&) = delete;
+  GroupCommitWindow& operator=(const GroupCommitWindow&) = delete;
+
+  void Register(WalWriter* writer);
+  void Unregister(WalWriter* writer);
+
+  /// Counts one appended operation; on the window boundary, syncs every
+  /// registered writer. Returns the first sync error.
+  Status OnOperation();
+
+  std::uint64_t commits() const;
+
+ private:
+  const std::size_t window_ops_;
+  mutable std::mutex mu_;
+  std::vector<WalWriter*> writers_;
+  std::size_t pending_ops_ = 0;
+  std::uint64_t commits_ = 0;
+};
+
+/// Append-only write-ahead-log writer over a dedicated PagedFile. Records
+/// (LSN + CRC, recovery/wal_format.h) are packed into an in-memory tail
+/// block; the DurabilityPolicy decides when that tail reaches the device:
+///
+///  - kSyncPerOp: every Append rewrites the tail block (one counted
+///    FileClass::kWal write per operation).
+///  - kGroupCommit: the tail is forced once per GroupCommitWindow boundary
+///    (and whenever a block fills), so W operations share one block write.
+///  - kAsync: only full blocks are written; a crash loses the in-memory tail.
+///
+/// Checkpoints truncate the log: NextEpochStart() names the first block of
+/// the post-checkpoint epoch (always a fresh block, so truncation can free
+/// whole blocks), the manifest records it, and BeginEpoch() frees everything
+/// before it. The WAL file never recycles freed blocks -- replay depends on
+/// record order following block order -- so truncated space is accounted as
+/// invalid, like every other freed block under the paper's default.
+///
+/// Thread-safe: Append/Sync serialize on an internal mutex so a shared
+/// commit window (or a write-ahead hook running on another shard's thread)
+/// can force the tail concurrently with the owner's appends.
+class WalWriter {
+ public:
+  /// `file` is caller-owned and must outlive the writer. Appends start after
+  /// the file's current high-water mark (fresh blocks), which makes resuming
+  /// on a recovered-but-not-yet-truncated log safe. `group` may be null
+  /// unless `policy` is kGroupCommit.
+  WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Assigns the next LSN to a new record, stages it in the tail block, and
+  /// applies the policy's flush rule. The caller stages its update only
+  /// after Append returns OK (write-ahead). When the record's own device
+  /// write fails (sync-per-op force, or the full-block flush of any policy),
+  /// the record is rolled back -- its LSN is released and no later force can
+  /// resurrect it. A group-commit WINDOW failure is the exception: the
+  /// window's staged records (this one and the already-acknowledged ones
+  /// before it) remain pending for the next force, so an errored
+  /// group-commit operation's outcome stays unknown until then -- the
+  /// policy's documented bounded-loss gap. `*lsn` receives the record's LSN
+  /// when non-null.
+  Status Append(WalRecordType type, Key key, Payload payload, std::uint64_t* lsn = nullptr);
+
+  /// Forces the tail block to the device (no-op when nothing is unforced).
+  Status Sync();
+
+  /// LSN the next record will receive.
+  std::uint64_t next_lsn() const;
+  /// LSN of the last appended record (0 if none).
+  std::uint64_t last_lsn() const;
+  /// Resumes LSN assignment after recovery: the next record gets `lsn`.
+  void set_next_lsn(std::uint64_t lsn);
+
+  /// Counted tail-block forces performed (each is one kWal device write).
+  std::uint64_t sync_writes() const;
+
+  /// First block of the next checkpoint epoch: the block the first
+  /// post-checkpoint record will land in.
+  BlockId NextEpochStart() const;
+
+  /// Truncates: frees every block of the finished epoch and continues at
+  /// `epoch_start` (which must be NextEpochStart()'s value from the same
+  /// checkpoint, taken under the owner's operation lock).
+  Status BeginEpoch(BlockId epoch_start);
+
+ private:
+  Status SyncLocked();
+  Status AppendLocked(WalRecordType type, Key key, Payload payload, std::uint64_t* lsn,
+                      bool* block_filled);
+  /// Un-stages the record the current (failing) Append placed: zeroes its
+  /// slot and releases its LSN, so the tail is never left full and a later
+  /// force cannot make a failed operation durable.
+  void RollbackTailRecordLocked();
+
+  PagedFile* const file_;  // non-owning
+  const DurabilityPolicy policy_;
+  GroupCommitWindow* const group_;  // non-owning; kGroupCommit only
+  const std::size_t records_per_block_;
+
+  mutable std::mutex mu_;
+  std::vector<std::byte> tail_;        ///< in-memory image of the tail block
+  BlockId tail_block_ = kInvalidBlock; ///< allocated on first record of a block
+  std::size_t tail_records_ = 0;
+  std::size_t unsynced_records_ = 0;   ///< staged in tail_ but not yet on device
+  BlockId epoch_start_ = 0;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t sync_writes_ = 0;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_RECOVERY_WAL_WRITER_H_

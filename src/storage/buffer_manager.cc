@@ -240,6 +240,11 @@ Status BufferManager::CheckBudget(const Pool& pool) {
 }
 
 Status BufferManager::WritebackLocked(Frame& frame) {
+  // WAL-before-data: a deferred data-page write must not reach the device
+  // ahead of the log records covering it. The hook forces the owning index's
+  // WAL (which lives on its own private manager, so this does not re-enter
+  // our latch) and is a no-op when the WAL has nothing unforced.
+  if (frame.file->write_ahead_) LIOD_RETURN_IF_ERROR(frame.file->write_ahead_());
   LIOD_RETURN_IF_ERROR(frame.file->device_->Write(frame.block, frame.data.get()));
   if (frame.file->count_io_ && frame.file->stats_ != nullptr) {
     frame.file->stats_->CountWrite(frame.file->klass_);

@@ -2,10 +2,12 @@
 #define LIOD_STORAGE_BUFFER_MANAGER_H_
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/options.h"
@@ -68,6 +70,15 @@ class FileHandle {
   std::size_t cached_blocks() const;
   std::size_t dirty_blocks() const;
 
+  /// Installs the WAL-before-data hook: invoked (under the manager latch)
+  /// before any deferred write-back of this file's dirty frames -- eviction
+  /// or flush -- so the durability layer can force its write-ahead log onto
+  /// the device ahead of the data pages it covers. The hook must not re-enter
+  /// this manager (the WAL file lives on its own private manager, so a WAL
+  /// force takes a different latch). Install before the file sees concurrent
+  /// traffic; a cross-shard eviction may run it on another shard's thread.
+  void SetWriteAheadHook(std::function<Status()> hook) { write_ahead_ = std::move(hook); }
+
  private:
   friend class BufferManager;
 
@@ -78,6 +89,7 @@ class FileHandle {
   bool count_io_ = true;
   std::size_t pool_ = 0;  ///< index into the manager's pool table
   std::unordered_map<BlockId, std::size_t> frames_;  ///< block -> slot
+  std::function<Status()> write_ahead_;  ///< WAL-before-data hook, may be empty
 };
 
 /// Shared write-back buffer manager: one memory budget in frames spanning all

@@ -1,7 +1,10 @@
 #include "storage/fault_injection_device.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace liod {
 
@@ -28,8 +31,26 @@ Status FaultInjectionDevice::Read(BlockId id, std::byte* out) {
   return base_->Read(id, out);
 }
 
+void FaultInjectionDevice::TearBlock(BlockId id, const std::byte* new_data) {
+  if (write_failure_mode_ != WriteFailureMode::kTorn) return;
+  if (id >= base_->num_blocks()) return;  // nothing stored to tear
+  const std::size_t bs = block_size();
+  const std::size_t prefix =
+      torn_write_bytes_ == 0 ? bs / 2 : std::min(torn_write_bytes_, bs);
+  // First `prefix` bytes of the new write land, the rest keeps the old
+  // content: the detectably-corrupt mix a mid-block power cut leaves behind.
+  std::vector<std::byte> mixed(bs);
+  if (!base_->Read(id, mixed.data()).ok()) return;
+  std::memcpy(mixed.data(), new_data, prefix);
+  if (base_->Write(id, mixed.data()).ok()) ++torn_writes_;
+}
+
 Status FaultInjectionDevice::Write(BlockId id, const std::byte* data) {
-  LIOD_RETURN_IF_ERROR(MaybeFail(id, "write"));
+  const Status status = MaybeFail(id, "write");
+  if (!status.ok()) {
+    TearBlock(id, data);
+    return status;
+  }
   return base_->Write(id, data);
 }
 

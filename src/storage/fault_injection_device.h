@@ -1,6 +1,7 @@
 #ifndef LIOD_STORAGE_FAULT_INJECTION_DEVICE_H_
 #define LIOD_STORAGE_FAULT_INJECTION_DEVICE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -23,7 +24,27 @@ class FaultInjectionDevice final : public BlockDevice {
   void FailBlock(BlockId id) { poisoned_block_ = id; }
   void ClearFailBlock() { poisoned_block_ = kInvalidBlock; }
 
+  /// Failure semantics of an injected WRITE failure. A real device that dies
+  /// mid-block leaves either the old content (the write never started) or a
+  /// detectably-corrupt mix -- never a silently-completed new block. Torn
+  /// mode models the second outcome: the failed write lands its first
+  /// `torn_write_bytes` bytes of new data over the old block before the
+  /// error is returned. Reads are always atomic (fail without touching
+  /// `out`). Default: kAtomic, the historical behavior.
+  enum class WriteFailureMode {
+    kAtomic,  ///< failed writes leave the old block untouched
+    kTorn,    ///< failed writes leave a new-prefix/old-suffix mix
+  };
+
+  /// Selects what an injected write failure leaves behind. `torn_bytes` of
+  /// new data survive in kTorn mode (0 = half the block, the default).
+  void SetWriteFailureMode(WriteFailureMode mode, std::size_t torn_bytes = 0) {
+    write_failure_mode_ = mode;
+    torn_write_bytes_ = torn_bytes;
+  }
+
   std::uint64_t injected_failures() const { return injected_failures_; }
+  std::uint64_t torn_writes() const { return torn_writes_; }
 
   Status Read(BlockId id, std::byte* out) override;
   Status Write(BlockId id, const std::byte* data) override;
@@ -32,11 +53,16 @@ class FaultInjectionDevice final : public BlockDevice {
 
  private:
   Status MaybeFail(BlockId id, const char* op);
+  /// Applies the torn-write semantics before returning the injected error.
+  void TearBlock(BlockId id, const std::byte* new_data);
 
   std::unique_ptr<BlockDevice> base_;
   std::int64_t fail_after_ = -1;
   BlockId poisoned_block_ = kInvalidBlock;
+  WriteFailureMode write_failure_mode_ = WriteFailureMode::kAtomic;
+  std::size_t torn_write_bytes_ = 0;
   std::uint64_t injected_failures_ = 0;
+  std::uint64_t torn_writes_ = 0;
 };
 
 }  // namespace liod

@@ -25,6 +25,7 @@ const char* FileClassName(FileClass klass) {
     case FileClass::kInner: return "inner";
     case FileClass::kLeaf: return "leaf";
     case FileClass::kOther: return "other";
+    case FileClass::kWal: return "wal";
   }
   return "unknown";
 }

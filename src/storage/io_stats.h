@@ -15,8 +15,10 @@ enum class FileClass : std::uint8_t {
   kInner = 1,  ///< Inner-node file.
   kLeaf = 2,   ///< Leaf/data-node file.
   kOther = 3,  ///< Auxiliary (e.g. PGM insert buffer).
+  kWal = 4,    ///< Durability: write-ahead log + checkpoint files
+               ///< (src/recovery/), so WAL overhead is reported separately.
 };
-inline constexpr int kNumFileClasses = 4;
+inline constexpr int kNumFileClasses = 5;
 
 const char* FileClassName(FileClass klass);
 

@@ -10,7 +10,8 @@ PagedFile::PagedFile(std::unique_ptr<BlockDevice> device, BufferManager* manager
     : device_(std::move(device)),
       manager_(manager),
       klass_(klass),
-      reuse_freed_space_(options.reuse_freed_space) {
+      reuse_freed_space_(options.reuse_freed_space),
+      next_block_(device_->num_blocks()) {
   buffer_ = manager_->RegisterFile(device_.get(), stats, klass,
                                    options.buffer_pool_blocks, options.count_io);
 }
@@ -21,7 +22,8 @@ PagedFile::PagedFile(std::unique_ptr<BlockDevice> device, IoStats* stats, FileCl
       owned_manager_(std::make_unique<BufferManager>(BufferManager::Options{})),
       manager_(owned_manager_.get()),
       klass_(klass),
-      reuse_freed_space_(options.reuse_freed_space) {
+      reuse_freed_space_(options.reuse_freed_space),
+      next_block_(device_->num_blocks()) {
   buffer_ = manager_->RegisterFile(device_.get(), stats, klass,
                                    options.buffer_pool_blocks, options.count_io);
 }

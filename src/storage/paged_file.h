@@ -2,8 +2,10 @@
 #define LIOD_STORAGE_PAGED_FILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -88,6 +90,12 @@ class PagedFile {
   /// write-back I/O to a deleted file would be pure waste.
   void MarkDeleted() { deleted_ = true; }
 
+  /// Forwards to FileHandle::SetWriteAheadHook (WAL-before-data ordering for
+  /// deferred write-backs of this file's dirty frames).
+  void SetWriteAheadHook(std::function<Status()> hook) {
+    buffer_->SetWriteAheadHook(std::move(hook));
+  }
+
   FileHandle& buffer() { return *buffer_; }
 
   /// Total blocks ever allocated (the high-water mark = on-disk footprint;
@@ -106,6 +114,10 @@ class PagedFile {
   bool reuse_freed_space_;
   bool deleted_ = false;
 
+  /// Starts at the device's current size: 0 for the fresh devices every index
+  /// creates, or the existing high-water mark when re-opening a surviving
+  /// device (the recovery layer's WAL/checkpoint files), so new allocations
+  /// never overwrite surviving blocks.
   BlockId next_block_ = 0;
   std::uint64_t freed_blocks_ = 0;
   std::vector<BlockId> free_list_;                 // single blocks (reuse mode)

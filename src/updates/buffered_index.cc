@@ -26,16 +26,63 @@ UpdateBufferedIndex::UpdateBufferedIndex(const IndexOptions& options,
   config.block_size = options.block_size;
   config.merge_threshold = options.update_buffer_merge_threshold;
   buffer_ = std::make_unique<UpdateBuffer>(config, spill_file_.get());
+
+  if (options.durability != DurabilityPolicy::kNone) {
+    if (options.durable_slot != nullptr) {
+      slot_ = options.durable_slot;
+    } else {
+      // Private slot: durability I/O is fully priced, but the artifacts die
+      // with the index (nothing to hand a RecoveryManager).
+      owned_slot_ = std::make_unique<DurableSlot>(options.block_size);
+      slot_ = owned_slot_.get();
+    }
+    // Counted as FileClass::kWal into the base's stats, like every other
+    // block of the decorated stack. The slot's devices may already hold a
+    // surviving log: PagedFile resumes allocation past their high water.
+    PagedFileOptions durability_file_options;
+    wal_file_ = std::make_unique<PagedFile>(
+        std::make_unique<BorrowedBlockDevice>(slot_->wal_device()), &base_->io_stats(),
+        FileClass::kWal, durability_file_options);
+    checkpoint_file_ = std::make_unique<PagedFile>(
+        std::make_unique<BorrowedBlockDevice>(slot_->checkpoint_device()),
+        &base_->io_stats(), FileClass::kWal, durability_file_options);
+    GroupCommitWindow* group = options.group_commit;
+    if (options.durability == DurabilityPolicy::kGroupCommit && group == nullptr) {
+      owned_group_ = std::make_unique<GroupCommitWindow>(options.wal_group_window);
+      group = owned_group_.get();
+    }
+    wal_ = std::make_unique<WalWriter>(wal_file_.get(), options.durability, group);
+    checkpoint_ = std::make_unique<CheckpointManager>(checkpoint_file_.get());
+    base_->SetWriteAheadHook([this] { return wal_->Sync(); });
+  }
+
   if (options.update_buffer_merge_mode == MergeMode::kBackground) {
     scheduler_ = std::make_unique<MergeScheduler>([this] {
       std::lock_guard<std::mutex> lock(mu_);
-      return MergeLocked();
+      Status status = MergeLocked();
+      // A drained buffer is the natural checkpoint moment: the snapshot is
+      // compact and the WAL tail covering the drain can be truncated.
+      if (status.ok()) status = CheckpointLocked();
+      // The decorator's sticky copy is the single home for drain failures
+      // (surfaced by the next write op or FlushUpdates, exactly once); the
+      // scheduler is told Ok so the same failure is not double-reported
+      // through WaitIdle.
+      if (!status.ok() && background_error_.ok()) background_error_ = status;
+      return Status::Ok();
     });
   }
 }
 
 UpdateBufferedIndex::~UpdateBufferedIndex() {
   scheduler_.reset();  // join the merge thread before tearing down the buffer
+  // Detach the WAL hook before the writer dies: the base's own teardown may
+  // still flush dirty frames (destruction is indistinguishable from a crash;
+  // clean shutdowns reach durability through FlushUpdates' checkpoint).
+  if (wal_ != nullptr) base_->SetWriteAheadHook({});
+  wal_.reset();
+  checkpoint_.reset();
+  wal_file_.reset();
+  checkpoint_file_.reset();
   buffer_.reset();
   base_->ReleaseAuxFile(spill_file_.get());
   spill_file_.reset();
@@ -76,6 +123,9 @@ Status UpdateBufferedIndex::AfterStageLocked() {
       scheduler_->RequestMerge();
     } else {
       LIOD_RETURN_IF_ERROR(MergeLocked());
+      // Every drain ends with a checkpoint (no-op when durability is off):
+      // the snapshot is compact and the WAL covering the drain truncates.
+      LIOD_RETURN_IF_ERROR(CheckpointLocked());
     }
   }
   return buffer_->SpillIfOverCapacity();
@@ -92,22 +142,69 @@ Status UpdateBufferedIndex::CheckThreshold() const {
                                  std::to_string(threshold));
 }
 
+Status UpdateBufferedIndex::TakeBackgroundErrorLocked() {
+  if (background_error_.ok()) return Status::Ok();
+  // Hand the failure to exactly one operation; the buffer still holds the
+  // undrained entries, so the retry path is intact.
+  Status error = background_error_;
+  background_error_ = Status::Ok();
+  return error;
+}
+
+Status UpdateBufferedIndex::LogLocked(WalRecordType type, Key key, Payload payload) {
+  if (wal_ == nullptr) return Status::Ok();
+  // Write-ahead: the record is logged (and forced, per the policy) before
+  // the update is staged anywhere. On error the operation fails un-staged.
+  LIOD_RETURN_IF_ERROR(wal_->Append(type, key, payload));
+  checkpoint_->Note(StagedUpdate{key, payload, type == WalRecordType::kTombstone});
+  ++ops_since_checkpoint_;
+  return Status::Ok();
+}
+
+Status UpdateBufferedIndex::CheckpointLocked() {
+  if (wal_ == nullptr) return Status::Ok();
+  LIOD_RETURN_IF_ERROR(wal_->Sync());          // WAL before ...
+  LIOD_RETURN_IF_ERROR(base_->FlushBuffers()); // ... the data pages it covers
+  const BlockId epoch_start = wal_->NextEpochStart();
+  LIOD_RETURN_IF_ERROR(checkpoint_->Write(wal_->last_lsn(), epoch_start));
+  LIOD_RETURN_IF_ERROR(wal_->BeginEpoch(epoch_start));
+  ops_since_checkpoint_ = 0;
+  return Status::Ok();
+}
+
+Status UpdateBufferedIndex::MaybeCheckpointLocked() {
+  if (wal_ == nullptr || options_.checkpoint_every_ops == 0 ||
+      ops_since_checkpoint_ < options_.checkpoint_every_ops) {
+    return Status::Ok();
+  }
+  return CheckpointLocked();
+}
+
 Status UpdateBufferedIndex::Insert(Key key, Payload payload) {
   LIOD_RETURN_IF_ERROR(CheckThreshold());
   std::lock_guard<std::mutex> lock(mu_);
+  LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
+  LIOD_RETURN_IF_ERROR(LogLocked(WalRecordType::kUpsert, key, payload));
   buffer_->Put(key, payload);
-  return AfterStageLocked();
+  LIOD_RETURN_IF_ERROR(AfterStageLocked());
+  return MaybeCheckpointLocked();
 }
 
 Status UpdateBufferedIndex::Delete(Key key) {
   LIOD_RETURN_IF_ERROR(CheckThreshold());
   std::lock_guard<std::mutex> lock(mu_);
+  LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
+  LIOD_RETURN_IF_ERROR(LogLocked(WalRecordType::kTombstone, key, 0));
   buffer_->Delete(key);
-  return AfterStageLocked();
+  LIOD_RETURN_IF_ERROR(AfterStageLocked());
+  return MaybeCheckpointLocked();
 }
 
 Status UpdateBufferedIndex::MergeLocked() {
   if (buffer_->empty()) return Status::Ok();
+  // WAL-before-data also for the merge's base writes: every record covering
+  // the entries about to reach the base structure is on the device first.
+  if (wal_ != nullptr) LIOD_RETURN_IF_ERROR(wal_->Sync());
   std::vector<StagedUpdate> entries;
   LIOD_RETURN_IF_ERROR(buffer_->CollectFrom(kMinKey, &entries));
   for (const StagedUpdate& e : entries) {
@@ -132,9 +229,43 @@ Status UpdateBufferedIndex::MergeLocked() {
 }
 
 Status UpdateBufferedIndex::FlushUpdates() {
+  // Drain failures land in background_error_ (the scheduler itself always
+  // reports Ok); WaitIdle here is purely the barrier.
   if (scheduler_ != nullptr) LIOD_RETURN_IF_ERROR(scheduler_->WaitIdle());
   std::lock_guard<std::mutex> lock(mu_);
-  return MergeLocked();
+  LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
+  LIOD_RETURN_IF_ERROR(MergeLocked());
+  return CheckpointLocked();
+}
+
+Status UpdateBufferedIndex::FlushBuffers() {
+  if (wal_ != nullptr) LIOD_RETURN_IF_ERROR(wal_->Sync());
+  return base_->FlushBuffers();
+}
+
+Status UpdateBufferedIndex::ApplyRecovered(std::uint64_t max_lsn,
+                                           std::uint64_t checkpoint_seqno,
+                                           std::vector<StagedUpdate> updates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyRecovered requires a durable index (durability != none)");
+  }
+  wal_->set_next_lsn(max_lsn + 1);
+  checkpoint_->Seed(updates, checkpoint_seqno);
+  for (const StagedUpdate& e : updates) {
+    // Staged through the normal path -- spills, merges, and overlay rules all
+    // apply -- but never re-logged: these updates are already durable.
+    if (e.tombstone) {
+      buffer_->Delete(e.key);
+    } else {
+      buffer_->Put(e.key, e.payload);
+    }
+    LIOD_RETURN_IF_ERROR(AfterStageLocked());
+  }
+  // Recovery ends with a checkpoint: the replayed log truncates and a second
+  // crash recovers from a clean epoch instead of re-reading a stale tail.
+  return CheckpointLocked();
 }
 
 Status UpdateBufferedIndex::Scan(Key start_key, std::size_t count,
@@ -209,6 +340,13 @@ IndexStats UpdateBufferedIndex::GetIndexStats() const {
   IndexStats stats = base_->GetIndexStats();
   stats.disk_bytes += spill_file_->size_bytes();
   stats.freed_bytes += spill_file_->freed_blocks() * spill_file_->block_size();
+  if (wal_file_ != nullptr) {
+    // Durability footprint is part of the bill: live log + checkpoint blocks
+    // plus the truncated (invalid) space behind them.
+    stats.disk_bytes += wal_file_->size_bytes() + checkpoint_file_->size_bytes();
+    stats.freed_bytes += wal_file_->freed_blocks() * wal_file_->block_size() +
+                         checkpoint_file_->freed_blocks() * checkpoint_file_->block_size();
+  }
   // num_records is a documented approximation: overlay upserts are added
   // (over-counting when one shadows a base key, as hybrid updates of
   // existing keys do) and resident tombstones subtracted (over-subtracting
@@ -247,6 +385,21 @@ std::size_t UpdateBufferedIndex::overlay_records() const {
 std::uint64_t UpdateBufferedIndex::merges_completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return merges_;
+}
+
+std::uint64_t UpdateBufferedIndex::wal_forced_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr ? wal_->sync_writes() : 0;
+}
+
+std::uint64_t UpdateBufferedIndex::wal_last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr ? wal_->last_lsn() : 0;
+}
+
+std::uint64_t UpdateBufferedIndex::checkpoints_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_ != nullptr ? checkpoint_->checkpoints_written() : 0;
 }
 
 }  // namespace liod

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "core/index.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/durable_store.h"
+#include "recovery/wal_writer.h"
 #include "updates/merge_scheduler.h"
 #include "updates/update_buffer.h"
 
@@ -45,6 +48,22 @@ namespace liod {
 /// like any other file. io_stats()/breakdown() forward to the base, so
 /// runners and benches see one unified counter set.
 ///
+/// Durability (IndexOptions::durability != kNone, src/recovery/): every
+/// Insert/Delete appends a CRC'd record to a write-ahead log BEFORE staging
+/// (counted FileClass::kWal I/O; the policy decides when the tail block is
+/// forced), a CheckpointManager snapshots the cumulative update set after
+/// every merge / every checkpoint_every_ops operations / at FlushUpdates and
+/// truncates the log, and a write-ahead hook on the base's buffer manager
+/// forces the WAL ahead of any deferred dirty-frame write-back
+/// (WAL-before-data). RecoveryManager rebuilds the committed prefix from the
+/// DurableSlot after a crash. kNone (the default) constructs none of this
+/// and keeps every existing I/O count bit-exact.
+///
+/// Background-merge errors: a failed background drain is remembered and
+/// fails the NEXT Insert/Delete (and FlushUpdates) with the drain's Status,
+/// instead of being observable only at the end-of-window flush. Merges are
+/// idempotent, so the failure is surfaced once and the retry starts clean.
+///
 /// Thread-safety: all operations serialize on an internal mutex, which is
 /// what lets a background MergeScheduler drain while the owning shard keeps
 /// serving (merges block only their own shard's operations, not other
@@ -71,11 +90,21 @@ class UpdateBufferedIndex : public DiskIndex {
   Status FlushUpdates() override;
 
   Status DropCaches() override { return base_->DropCaches(); }
-  Status FlushBuffers() override { return base_->FlushBuffers(); }
+  /// WAL-before-data: forces the WAL, then writes back the base's dirty
+  /// frames (plain base flush when durability is off).
+  Status FlushBuffers() override;
   IoStats& io_stats() override { return base_->io_stats(); }
   const IoStats& io_stats() const override { return base_->io_stats(); }
   OpBreakdown& breakdown() override { return base_->breakdown(); }
   BufferManager& buffer_manager() override { return base_->buffer_manager(); }
+
+  /// Recovery entry point (RecoveryManager): resumes LSN assignment after
+  /// `max_lsn`, seeds the checkpoint's cumulative set, re-applies the
+  /// recovered updates through the normal staging path WITHOUT re-logging
+  /// them (they are already durable), and finishes with a checkpoint so the
+  /// replayed log is truncated. Requires durability != kNone.
+  Status ApplyRecovered(std::uint64_t max_lsn, std::uint64_t checkpoint_seqno,
+                        std::vector<StagedUpdate> updates);
 
   // --- introspection (tests, benches) -------------------------------------
   DiskIndex* base() { return base_.get(); }
@@ -87,6 +116,13 @@ class UpdateBufferedIndex : public DiskIndex {
   std::size_t overlay_records() const;
   /// Merges performed (sync and background), counting only non-empty drains.
   std::uint64_t merges_completed() const;
+  /// Forced WAL tail-block writes (0 when durability is off). Group commit
+  /// shows strictly fewer of these than sync-per-op for the same op stream.
+  std::uint64_t wal_forced_writes() const;
+  /// LSN of the last logged operation (0 when durability is off).
+  std::uint64_t wal_last_lsn() const;
+  /// Checkpoints written so far (0 when durability is off).
+  std::uint64_t checkpoints_written() const;
 
  private:
   struct OverlayEntry {
@@ -96,8 +132,19 @@ class UpdateBufferedIndex : public DiskIndex {
 
   /// Applies every buffered entry to the base (newest-wins), moves
   /// unmergeable entries to the overlay, and clears the buffer. Upserts are
-  /// idempotent, so a failed merge may be retried without damage.
+  /// idempotent, so a failed merge may be retried without damage. Durable
+  /// mode forces the WAL first (WAL-before-data for the base writes).
   Status MergeLocked();
+  /// WAL append + cumulative-checkpoint bookkeeping for one logged op.
+  /// No-op when durability is off.
+  Status LogLocked(WalRecordType type, Key key, Payload payload);
+  /// WAL sync, base dirty-frame flush, snapshot write, log truncation.
+  /// No-op when durability is off.
+  Status CheckpointLocked();
+  /// CheckpointLocked when checkpoint_every_ops is due.
+  Status MaybeCheckpointLocked();
+  /// Surfaces (and clears) the sticky background-merge error, if any.
+  Status TakeBackgroundErrorLocked();
   /// Post-staging policy: trigger the merge if due, then spill staging to a
   /// sorted run if it is still over capacity.
   Status AfterStageLocked();
@@ -111,6 +158,24 @@ class UpdateBufferedIndex : public DiskIndex {
   /// Post-merge resident entries, shadowed by the buffer, shadowing the base.
   std::map<Key, OverlayEntry> overlay_;
   std::uint64_t merges_ = 0;
+
+  // --- durability (null when IndexOptions::durability == kNone) -----------
+  std::unique_ptr<DurableSlot> owned_slot_;  // when no external slot injected
+  DurableSlot* slot_ = nullptr;
+  /// WAL and checkpoint files run standalone (private write-through manager):
+  /// a WAL force must hit the device when the policy says so, never sit as a
+  /// dirty frame behind the data it is supposed to precede -- and the hook
+  /// that forces the WAL from inside the data manager's latch must not
+  /// re-enter that latch.
+  std::unique_ptr<PagedFile> wal_file_;
+  std::unique_ptr<PagedFile> checkpoint_file_;
+  std::unique_ptr<GroupCommitWindow> owned_group_;  // when none injected
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<CheckpointManager> checkpoint_;
+  std::uint64_t ops_since_checkpoint_ = 0;
+  /// First failed background drain, failing the next write op fast.
+  Status background_error_;
+
   std::unique_ptr<MergeScheduler> scheduler_;  // kBackground mode only
   mutable std::mutex mu_;
 };

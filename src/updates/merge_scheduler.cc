@@ -27,7 +27,12 @@ void MergeScheduler::RequestMerge() {
 Status MergeScheduler::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return !pending_ && !running_; });
-  return first_error_;
+  // Hand the sticky error to exactly one caller: once surfaced, a retried
+  // drain (merges are idempotent) starts from a clean slate instead of the
+  // owner failing forever on a failure it already reported.
+  Status error = first_error_;
+  first_error_ = Status::Ok();
+  return error;
 }
 
 std::uint64_t MergeScheduler::merges_completed() const {

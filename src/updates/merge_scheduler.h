@@ -19,9 +19,12 @@ namespace liod {
 ///
 /// Requests coalesce: any number of RequestMerge calls while a drain is
 /// pending or running collapse into at most one additional drain. Drain
-/// errors are sticky -- the first failure is remembered and returned by
-/// WaitIdle (and re-returned until the owner reads it), because a background
-/// thread has nowhere else to surface a Status.
+/// errors are sticky -- the first failure is remembered until WaitIdle hands
+/// it to exactly one caller (then cleared, so a retried drain is not blamed
+/// for an already-reported failure) -- because a background thread has
+/// nowhere else to surface a Status. UpdateBufferedIndex additionally keeps
+/// its own sticky copy so the failure fails the NEXT foreground operation
+/// fast instead of hiding until the end-of-window FlushUpdates.
 class MergeScheduler {
  public:
   using DrainFn = std::function<Status()>;

@@ -112,6 +112,84 @@ TEST(FaultInjection, StaticPgmBuildAndLookupPropagate) {
   EXPECT_TRUE(found);
 }
 
+// A write that fails mid-block must leave either the old content or a
+// detectably-corrupt block -- never a silently-completed new block. This is
+// the device contract the WAL's CRC-based torn-tail detection relies on.
+TEST(FaultInjection, AtomicFailedWriteLeavesOldBlockIntact) {
+  FaultyFile f;
+  const BlockId id = f.file->Allocate();
+  std::vector<std::byte> old_data(4096, std::byte{0xAA});
+  std::vector<std::byte> new_data(4096, std::byte{0xBB});
+  ASSERT_TRUE(f.file->WriteBlock(id, old_data.data()).ok());
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  f.device->FailAfter(0);  // default mode: kAtomic
+  ASSERT_FALSE(f.file->WriteBlock(id, new_data.data()).ok());
+  f.device->FailAfter(-1);
+  std::vector<std::byte> read_back(4096);
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  ASSERT_TRUE(f.file->ReadBlock(id, read_back.data()).ok());
+  EXPECT_EQ(read_back, old_data);
+  EXPECT_EQ(f.device->torn_writes(), 0u);
+}
+
+TEST(FaultInjection, TornFailedWriteIsDetectablyCorruptNeverSilentlyComplete) {
+  FaultyFile f;
+  const BlockId id = f.file->Allocate();
+  std::vector<std::byte> old_data(4096, std::byte{0xAA});
+  std::vector<std::byte> new_data(4096, std::byte{0xBB});
+  ASSERT_TRUE(f.file->WriteBlock(id, old_data.data()).ok());
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  f.device->SetWriteFailureMode(FaultInjectionDevice::WriteFailureMode::kTorn);
+  f.device->FailAfter(0);
+  ASSERT_FALSE(f.file->WriteBlock(id, new_data.data()).ok());
+  f.device->FailAfter(-1);
+  EXPECT_EQ(f.device->torn_writes(), 1u);
+  std::vector<std::byte> read_back(4096);
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  ASSERT_TRUE(f.file->ReadBlock(id, read_back.data()).ok());
+  // Neither the old nor the new image: a half-new half-old mix that any
+  // content check (CRC, magic) can flag -- the failed write is detectable.
+  EXPECT_NE(read_back, old_data);
+  EXPECT_NE(read_back, new_data);
+  EXPECT_EQ(std::vector<std::byte>(read_back.begin(), read_back.begin() + 2048),
+            std::vector<std::byte>(2048, std::byte{0xBB}));
+  EXPECT_EQ(std::vector<std::byte>(read_back.begin() + 2048, read_back.end()),
+            std::vector<std::byte>(2048, std::byte{0xAA}));
+}
+
+TEST(FaultInjection, TornPrefixLengthIsConfigurable) {
+  FaultyFile f;
+  const BlockId id = f.file->Allocate();
+  std::vector<std::byte> old_data(4096, std::byte{0x11});
+  std::vector<std::byte> new_data(4096, std::byte{0x22});
+  ASSERT_TRUE(f.file->WriteBlock(id, old_data.data()).ok());
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  f.device->SetWriteFailureMode(FaultInjectionDevice::WriteFailureMode::kTorn, 100);
+  f.device->FailAfter(0);
+  ASSERT_FALSE(f.file->WriteBlock(id, new_data.data()).ok());
+  f.device->FailAfter(-1);
+  std::vector<std::byte> read_back(4096);
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  ASSERT_TRUE(f.file->ReadBlock(id, read_back.data()).ok());
+  EXPECT_EQ(read_back[99], std::byte{0x22});
+  EXPECT_EQ(read_back[100], std::byte{0x11});
+}
+
+TEST(FaultInjection, TornModeOnNeverWrittenBlockMixesWithZeros) {
+  FaultyFile f;
+  const BlockId id = f.file->Allocate();  // grown, zero-filled, never written
+  std::vector<std::byte> new_data(4096, std::byte{0x33});
+  f.device->SetWriteFailureMode(FaultInjectionDevice::WriteFailureMode::kTorn, 64);
+  f.device->FailAfter(0);
+  ASSERT_FALSE(f.file->WriteBlock(id, new_data.data()).ok());
+  f.device->FailAfter(-1);
+  std::vector<std::byte> read_back(4096);
+  ASSERT_TRUE(f.file->DropCaches().ok());
+  ASSERT_TRUE(f.file->ReadBlock(id, read_back.data()).ok());
+  EXPECT_EQ(read_back[63], std::byte{0x33});
+  EXPECT_EQ(read_back[64], std::byte{0});
+}
+
 TEST(FaultInjection, PoisonedBlockIsDeterministic) {
   FaultyFile f;
   const BlockId run = f.file->AllocateRun(8);
