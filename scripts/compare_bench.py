@@ -34,8 +34,8 @@ import json
 import sys
 
 KEY_COLUMNS = ("label", "index", "workload", "dataset", "disk", "threads", "shards",
-               "durability", "buffer_blocks", "checkpoint_every", "merge_mode",
-               "merge_threshold")
+               "lock_mode", "durability", "buffer_blocks", "checkpoint_every",
+               "merge_mode", "merge_threshold")
 WRITES_EPSILON = 0.05  # writes/op; absolute slack for near-zero baselines
 
 

@@ -72,6 +72,43 @@ inline bool MergeModeFromName(const std::string& name, MergeMode* out) {
   return true;
 }
 
+/// Intra-shard concurrency control of the ShardedEngine's read path
+/// (engine/sharded_engine.h). Writers (Insert/Delete/RMW, merges, flushes,
+/// checkpoints) always hold the shard exclusively; the mode decides how
+/// read-only operations (Lookup/Scan) coordinate with them.
+enum class ShardLockMode {
+  kExclusive,   ///< every op takes the shard exclusively (the historical
+                ///< mutex behavior; default, bit-exact I/O)
+  kShared,      ///< readers take shared ownership of a reader/writer latch
+  kOptimistic,  ///< readers validate a per-shard version counter and only
+                ///< try-acquire the latch; conflicts retry, then fall back
+                ///< to a blocking shared acquisition
+};
+
+inline const char* ShardLockModeName(ShardLockMode mode) {
+  switch (mode) {
+    case ShardLockMode::kExclusive: return "exclusive";
+    case ShardLockMode::kShared: return "shared";
+    case ShardLockMode::kOptimistic: return "optimistic";
+  }
+  return "unknown";
+}
+
+/// Parses "exclusive" / "shared" / "optimistic". Returns false on an unknown
+/// name.
+inline bool ShardLockModeFromName(const std::string& name, ShardLockMode* out) {
+  if (name == "exclusive") {
+    *out = ShardLockMode::kExclusive;
+  } else if (name == "shared") {
+    *out = ShardLockMode::kShared;
+  } else if (name == "optimistic") {
+    *out = ShardLockMode::kOptimistic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 /// Durability of the buffered write path (src/recovery/). Decides when a
 /// staged Insert/Delete's write-ahead-log record reaches the device relative
 /// to the operation's return -- the classic commit-latency vs write-cost

@@ -13,6 +13,7 @@ const char* OpPhaseName(OpPhase phase) {
 }
 
 void OpBreakdown::Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   PhaseTotals& t = totals_[static_cast<int>(phase)];
   t.cpu_us += cpu_us;
   t.io += io_delta;
@@ -20,13 +21,14 @@ void OpBreakdown::Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io
 }
 
 void OpBreakdown::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& t : totals_) t = PhaseTotals{};
 }
 
 double OpBreakdown::AvgLatencyUs(OpPhase phase, const DiskModel& model,
                                  std::uint64_t ops) const {
   if (ops == 0) return 0.0;
-  const PhaseTotals& t = totals_[static_cast<int>(phase)];
+  const PhaseTotals t = totals(phase);
   return (t.cpu_us + model.IoMicros(t.io)) / static_cast<double>(ops);
 }
 

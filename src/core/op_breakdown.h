@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 
 #include "storage/disk_model.h"
 #include "storage/io_stats.h"
@@ -24,6 +25,11 @@ inline constexpr int kNumOpPhases = 4;
 const char* OpPhaseName(OpPhase phase);
 
 /// Accumulates CPU time and I/O per phase across many operations.
+///
+/// Thread-safe: Record serializes on an internal mutex. Every index op --
+/// including read-only lookups -- charges a PhaseScope here, and under the
+/// engine's shared/optimistic lock modes those lookups run in parallel on
+/// one index instance.
 class OpBreakdown {
  public:
   struct PhaseTotals {
@@ -33,7 +39,9 @@ class OpBreakdown {
   };
 
   void Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta);
-  const PhaseTotals& totals(OpPhase phase) const {
+  /// Copy of one phase's totals (a reference would race with Record).
+  PhaseTotals totals(OpPhase phase) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return totals_[static_cast<int>(phase)];
   }
   void Reset();
@@ -43,6 +51,7 @@ class OpBreakdown {
   double AvgLatencyUs(OpPhase phase, const DiskModel& model, std::uint64_t ops) const;
 
  private:
+  mutable std::mutex mu_;
   std::array<PhaseTotals, kNumOpPhases> totals_;
 };
 

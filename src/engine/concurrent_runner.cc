@@ -18,6 +18,9 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
                std::size_t scan_length, const ConcurrentRunnerConfig& config,
                ThreadRunResult* out) {
   if (config.record_samples) out->samples.reserve(ops.size());
+  // Per-shard shared-latch I/O of THIS thread (stays all-zero under the
+  // exclusive mode, where the engine never runs anything shared).
+  out->shared_io.assign(engine->num_shards(), IoStatsSnapshot{});
   std::vector<Record> scan_out;
   const auto tape_start = std::chrono::steady_clock::now();
   for (const WorkloadOp& op : ops) {
@@ -28,7 +31,8 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
       case WorkloadOp::Kind::kLookup: {
         Payload payload = 0;
         bool found = false;
-        LIOD_RETURN_IF_ERROR(engine->Lookup(op.key, &payload, &found, &delta));
+        LIOD_RETURN_IF_ERROR(
+            engine->Lookup(op.key, &payload, &found, &delta, &out->shared_io));
         if (config.check_lookups && !found) {
           return Status::Corruption("concurrent lookup missed key " + std::to_string(op.key));
         }
@@ -38,7 +42,8 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
         LIOD_RETURN_IF_ERROR(engine->Insert(op.key, op.payload, &delta));
         break;
       case WorkloadOp::Kind::kScan:
-        LIOD_RETURN_IF_ERROR(engine->Scan(op.key, scan_length, &scan_out, &delta));
+        LIOD_RETURN_IF_ERROR(
+            engine->Scan(op.key, scan_length, &scan_out, &delta, &out->shared_io));
         break;
       case WorkloadOp::Kind::kReadModifyWrite: {
         bool found = false;
@@ -68,7 +73,28 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
 double ConcurrentRunResult::MakespanUs(const DiskModel& model) const {
   double makespan = 0.0;
   for (const ThreadRunResult& t : threads) makespan = std::max(makespan, t.MakespanUs(model));
-  for (const IoStatsSnapshot& s : shard_io) makespan = std::max(makespan, model.IoMicros(s));
+  for (std::size_t s = 0; s < shard_io.size(); ++s) {
+    double shard_bound = 0.0;
+    if (lock_mode == ShardLockMode::kExclusive) {
+      // The latch serializes everything: the shard drains its whole I/O
+      // volume back to back.
+      shard_bound = model.IoMicros(shard_io[s]);
+    } else {
+      // Shared-latch reads overlap: across threads they finish no later
+      // than the slowest single thread's shared I/O on this shard. Whatever
+      // is not tallied as shared ran exclusively (writes, merges, flushes)
+      // and still serializes.
+      IoStatsSnapshot shared_total;
+      double slowest_reader_us = 0.0;
+      for (const ThreadRunResult& t : threads) {
+        if (s >= t.shared_io.size()) continue;
+        shared_total += t.shared_io[s];
+        slowest_reader_us = std::max(slowest_reader_us, model.IoMicros(t.shared_io[s]));
+      }
+      shard_bound = model.IoMicros(shard_io[s] - shared_total) + slowest_reader_us;
+    }
+    makespan = std::max(makespan, shard_bound);
+  }
   return makespan;
 }
 
@@ -102,6 +128,7 @@ Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& wo
                              const ConcurrentRunnerConfig& config,
                              ConcurrentRunResult* result) {
   *result = ConcurrentRunResult{};
+  result->lock_mode = engine->options().shard_lock_mode;
 
   // --- bulkload phase -------------------------------------------------------
   const auto bulk_start = std::chrono::steady_clock::now();

@@ -1,8 +1,10 @@
 #ifndef LIOD_ENGINE_SHARDED_ENGINE_H_
 #define LIOD_ENGINE_SHARDED_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +31,24 @@ struct EngineOptions {
   /// buffers independently, preserving per-shard I/O isolation.
   bool share_buffers_across_shards = false;
 
+  /// Intra-shard concurrency of the read path (common/options.h). Writers
+  /// always hold the shard exclusively. kExclusive (default) keeps the
+  /// historical one-mutex-per-shard behavior, including bit-exact per-op
+  /// snapshot-delta I/O attribution. kShared lets any number of Lookup/Scan
+  /// run in parallel on one shard under a reader/writer latch. kOptimistic
+  /// additionally validates a per-shard version counter and only
+  /// try-acquires the latch, counting failed validations as
+  /// optimistic_retries before falling back to a blocking shared
+  /// acquisition. All three modes perform identical counted I/O for the
+  /// same op sequence -- retries happen before the operation executes, so
+  /// only timing (and the modeled makespan) differs.
+  ShardLockMode shard_lock_mode = ShardLockMode::kExclusive;
+
+  /// kOptimistic only: failed optimistic read attempts before the reader
+  /// gives up and blocks on a shared acquisition (counted as one
+  /// read_lock_wait). Must be >= 1.
+  std::size_t optimistic_retry_limit = 3;
+
   /// Durable storage for the shards' WAL/checkpoint files when
   /// index.durability != kNone: shard i logs to slot i (per-shard WALs).
   /// Non-owning; must outlive the engine. Default nullptr: the engine owns a
@@ -40,14 +60,28 @@ struct EngineOptions {
 
 /// Key-range-sharded concurrent execution engine.
 ///
-/// Every DiskIndex in the library is single-threaded per instance, matching
-/// the paper's evaluation (core/index.h). The engine scales them to M client
-/// threads by partitioning the key space across N shards -- boundaries chosen
-/// from the sorted bulkload set so shards start equally loaded -- running one
-/// index per shard, and serializing access per shard with a mutex. Lookups,
-/// inserts, and read-modify-writes touch exactly one shard; scans stitch
-/// results across shard boundaries in key order (shards are visited in
-/// increasing order, so concurrent scans cannot deadlock).
+/// Every DiskIndex in the library is single-threaded per instance for
+/// writes, matching the paper's evaluation (core/index.h); read-only
+/// operations are safe in parallel on one instance (buffer-pool traffic is
+/// latched by the manager, counters are atomic). The engine scales them to M
+/// client threads by partitioning the key space across N shards --
+/// boundaries chosen from the sorted bulkload set so shards start equally
+/// loaded -- running one index per shard, and coordinating access per shard
+/// with a reader/writer latch driven by EngineOptions::shard_lock_mode.
+/// Lookups, inserts, and read-modify-writes touch exactly one shard; scans
+/// stitch results across shard boundaries in key order (shards are visited
+/// in increasing order, so concurrent scans cannot deadlock).
+///
+/// Scan guarantee (deliberately relaxed): a cross-shard scan latches one
+/// shard at a time, so it is NOT a point-in-time snapshot of the whole
+/// engine -- a racing insert may land behind the scan's cursor in a shard it
+/// has already released and be missed, or land ahead of it and be observed.
+/// Each per-shard segment IS atomic, and the stitched result is always
+/// sorted by strictly increasing key, contains every record that existed
+/// before the scan started (and was not concurrently deleted), and contains
+/// no torn or invented records. This matches what key-ordered iterators
+/// give under reader/writer latching in real DBMSs; a snapshot scan would
+/// need to latch all shards at once, serializing the engine.
 ///
 /// After Bulkload returns, Lookup/Insert/ReadModifyWrite/Scan and the merged
 /// stat readers are safe from any number of threads. Bulkload, DropCaches,
@@ -68,21 +102,29 @@ class ShardedEngine {
 
   /// Point lookup on the owning shard. When `io` is non-null, the exact
   /// block I/O this call performed is accumulated into it (per-thread I/O
-  /// attribution for the concurrent runner).
-  Status Lookup(Key key, Payload* payload, bool* found, IoStatsSnapshot* io = nullptr);
+  /// attribution for the concurrent runner): snapshot-delta under the
+  /// exclusive mode, thread-exact tally under shared/optimistic. When
+  /// `shared_io` is non-null and the op ran under a SHARED latch, the same
+  /// delta is also accumulated into (*shared_io)[owning shard] (resized to
+  /// num_shards() as needed) -- the makespan model needs to know which I/O
+  /// did not serialize against other readers.
+  Status Lookup(Key key, Payload* payload, bool* found, IoStatsSnapshot* io = nullptr,
+                std::vector<IoStatsSnapshot>* shared_io = nullptr);
 
-  /// Upsert on the owning shard.
+  /// Upsert on the owning shard (always exclusive).
   Status Insert(Key key, Payload payload, IoStatsSnapshot* io = nullptr);
 
   /// YCSB-F read-modify-write: lookup then upsert, atomically under the
-  /// owning shard's lock.
+  /// owning shard's lock (always exclusive).
   Status ReadModifyWrite(Key key, Payload payload, bool* found,
                          IoStatsSnapshot* io = nullptr);
 
   /// Range scan from `start_key` (or its successor) for up to `count`
-  /// records, continuing across shard boundaries until satisfied.
+  /// records, continuing across shard boundaries until satisfied. See the
+  /// class comment for the (relaxed) cross-shard consistency guarantee.
   Status Scan(Key start_key, std::size_t count, std::vector<Record>* out,
-              IoStatsSnapshot* io = nullptr);
+              IoStatsSnapshot* io = nullptr,
+              std::vector<IoStatsSnapshot>* shared_io = nullptr);
 
   /// Empties every shard's buffer frames, flushing dirty ones first
   /// (benchmarks start cold). Not thread-safe. Returns the first flush
@@ -90,14 +132,14 @@ class ShardedEngine {
   Status DropCaches();
 
   /// Writes back every shard's dirty frames (no-op under write-through).
-  /// Takes each shard's lock; the concurrent runner calls it after the
+  /// Takes each shard exclusively; the concurrent runner calls it after the
   /// measured window so deferred write-back I/O is attributed to the run.
   Status FlushBuffers();
 
   /// Drains every shard's out-of-place update buffer into its base index
-  /// (no-op for in-place indexes). Takes each shard's lock; the concurrent
-  /// runner calls it at the end of the measured window, before FlushBuffers,
-  /// so deferred merge I/O lands in the run that staged it.
+  /// (no-op for in-place indexes). Takes each shard exclusively; the
+  /// concurrent runner calls it at the end of the measured window, before
+  /// FlushBuffers, so deferred merge I/O lands in the run that staged it.
   Status FlushUpdates();
 
   /// Sum of all shards' I/O counters. Thread-safe.
@@ -110,6 +152,7 @@ class ShardedEngine {
   /// the maximum. Thread-safe.
   IndexStats MergedStats() const;
 
+  const EngineOptions& options() const { return options_; }
   std::size_t num_shards() const { return shards_.size(); }
   /// Inclusive lower key bound of each shard's range; front() is kMinKey.
   const std::vector<Key>& shard_lower_bounds() const { return lower_bounds_; }
@@ -122,8 +165,48 @@ class ShardedEngine {
  private:
   struct Shard {
     std::unique_ptr<DiskIndex> index;
-    mutable std::mutex mu;
+    /// Reader/writer latch. The exclusive mode takes it exclusively for
+    /// every op, degenerating to the historical per-shard mutex.
+    mutable std::shared_mutex mu;
+    /// Optimistic-read validation word, seqlock-style: odd while a writer
+    /// holds the latch, even when quiescent; bumped (release) on writer
+    /// entry and exit. Readers load-acquire it, but the latch -- not the
+    /// counter -- provides the actual happens-before for the data: an
+    /// optimistic read still executes under a try-acquired shared latch, so
+    /// the version is purely a conflict signal, never a correctness fence.
+    std::atomic<std::uint64_t> version{0};
   };
+
+  /// Exclusive section over one shard: latch + version bump around it.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(Shard& shard) : shard_(shard) {
+      shard_.mu.lock();
+      shard_.version.fetch_add(1, std::memory_order_release);  // odd: writer in
+    }
+    ~WriteGuard() {
+      shard_.version.fetch_add(1, std::memory_order_release);  // even: quiescent
+      shard_.mu.unlock();
+    }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    Shard& shard_;
+  };
+
+  /// Runs read-only `op` (invocable with DiskIndex*) on shard `s` under the
+  /// configured lock mode, attributing its I/O to `io`/`shared_io` as
+  /// documented on Lookup. Defined in the .cc; all instantiations live
+  /// there.
+  template <typename Op>
+  Status ReadOnShard(std::size_t s, IoStatsSnapshot* io,
+                     std::vector<IoStatsSnapshot>* shared_io, const Op& op);
+  /// `op` under an already-held shared latch, with the thread tally
+  /// installed.
+  template <typename Op>
+  Status RunSharedLocked(std::size_t s, IoStatsSnapshot* io,
+                         std::vector<IoStatsSnapshot>* shared_io, const Op& op);
 
   Status CheckReady() const;
 
@@ -137,7 +220,7 @@ class ShardedEngine {
   /// reference them until destroyed.
   std::unique_ptr<DurableStore> owned_durable_store_;
   std::unique_ptr<GroupCommitWindow> group_commit_;
-  std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: stable mutexes
+  std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: stable latches
   std::vector<Key> lower_bounds_;
 };
 

@@ -36,6 +36,13 @@ struct IoStatsSnapshot {
   /// Logical node visits, incremented by index code (not by the pool):
   std::uint64_t inner_nodes_visited = 0;
   std::uint64_t leaf_nodes_visited = 0;
+  /// Shard-lock contention, bumped by the engine's read path only in the
+  /// shared/optimistic lock modes (always 0 under the default exclusive
+  /// mode, so exclusive-mode snapshot pins stay bit-exact). Timing-dependent:
+  /// two runs of the same tape may count differently. Not device I/O -- the
+  /// disk model ignores both.
+  std::uint64_t read_lock_waits = 0;    ///< blocking shared acquisitions after contention
+  std::uint64_t optimistic_retries = 0; ///< optimistic read validations that failed
 
   std::uint64_t TotalReads() const;
   std::uint64_t TotalWrites() const;
@@ -85,17 +92,66 @@ struct IoStatsSnapshot {
 /// only matters for in-flight per-op attribution (documented there).
 class IoStats {
  public:
-  void CountRead(FileClass klass) { Bump(reads_, klass); }
-  void CountWrite(FileClass klass) { Bump(writes_, klass); }
-  void CountHit(FileClass klass) { Bump(buffer_hits_, klass); }
-  void CountMiss(FileClass klass) { Bump(buffer_misses_, klass); }
-  void CountEviction(FileClass klass) { Bump(buffer_evictions_, klass); }
-  void CountWriteback(FileClass klass) { Bump(buffer_writebacks_, klass); }
+  /// Thread-exact I/O attribution. While a ThreadTally is alive, every
+  /// counter bump the CURRENT THREAD performs on `target` is also added to
+  /// `*sink` (a plain snapshot, touched only by this thread).
+  ///
+  /// Why it exists: the engine's historical per-op attribution is a
+  /// snapshot delta around the operation, which is exact only while the
+  /// shard lock is exclusive. Under shared/optimistic locking, parallel
+  /// readers on one shard would each see the others' bumps inside their own
+  /// delta and double-count. The tally routes each bump to exactly the
+  /// thread that performed it. Bumps to OTHER IoStats instances (e.g. a
+  /// cross-shard writeback under a shared buffer pool) are not tallied,
+  /// matching the snapshot-delta semantics it replaces.
+  ///
+  /// Nests: installing a tally saves the previous one and restores it on
+  /// destruction. Lock-contention counters (read_lock_waits,
+  /// optimistic_retries) are never tallied -- they describe the lock, not
+  /// the operation.
+  class ThreadTally {
+   public:
+    ThreadTally(const IoStats* target, IoStatsSnapshot* sink)
+        : prev_target_(tally_target_), prev_sink_(tally_sink_) {
+      tally_target_ = target;
+      tally_sink_ = sink;
+    }
+    ~ThreadTally() {
+      tally_target_ = prev_target_;
+      tally_sink_ = prev_sink_;
+    }
+    ThreadTally(const ThreadTally&) = delete;
+    ThreadTally& operator=(const ThreadTally&) = delete;
+
+   private:
+    const IoStats* prev_target_;
+    IoStatsSnapshot* prev_sink_;
+  };
+
+  void CountRead(FileClass klass) { Bump(reads_, &IoStatsSnapshot::reads, klass); }
+  void CountWrite(FileClass klass) { Bump(writes_, &IoStatsSnapshot::writes, klass); }
+  void CountHit(FileClass klass) { Bump(buffer_hits_, &IoStatsSnapshot::buffer_hits, klass); }
+  void CountMiss(FileClass klass) {
+    Bump(buffer_misses_, &IoStatsSnapshot::buffer_misses, klass);
+  }
+  void CountEviction(FileClass klass) {
+    Bump(buffer_evictions_, &IoStatsSnapshot::buffer_evictions, klass);
+  }
+  void CountWriteback(FileClass klass) {
+    Bump(buffer_writebacks_, &IoStatsSnapshot::buffer_writebacks, klass);
+  }
   void CountInnerNodeVisit() {
     inner_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    if (tally_target_ == this) ++tally_sink_->inner_nodes_visited;
   }
   void CountLeafNodeVisit() {
     leaf_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    if (tally_target_ == this) ++tally_sink_->leaf_nodes_visited;
+  }
+  /// Engine read path, shared/optimistic modes only (see IoStatsSnapshot).
+  void CountReadLockWait() { read_lock_waits_.fetch_add(1, std::memory_order_relaxed); }
+  void CountOptimisticRetry() {
+    optimistic_retries_.fetch_add(1, std::memory_order_relaxed);
   }
 
   IoStatsSnapshot snapshot() const;
@@ -103,10 +159,16 @@ class IoStats {
 
  private:
   using Counters = std::array<std::atomic<std::uint64_t>, kNumFileClasses>;
+  using SnapshotCounters = std::array<std::uint64_t, kNumFileClasses>;
 
-  static void Bump(Counters& counters, FileClass klass) {
+  void Bump(Counters& counters, SnapshotCounters IoStatsSnapshot::* field,
+            FileClass klass) {
     counters[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
+    if (tally_target_ == this) ++(tally_sink_->*field)[static_cast<int>(klass)];
   }
+
+  static thread_local const IoStats* tally_target_;
+  static thread_local IoStatsSnapshot* tally_sink_;
 
   Counters reads_{};
   Counters writes_{};
@@ -116,6 +178,8 @@ class IoStats {
   Counters buffer_writebacks_{};
   std::atomic<std::uint64_t> inner_nodes_visited_{0};
   std::atomic<std::uint64_t> leaf_nodes_visited_{0};
+  std::atomic<std::uint64_t> read_lock_waits_{0};
+  std::atomic<std::uint64_t> optimistic_retries_{0};
 };
 
 }  // namespace liod

@@ -58,7 +58,7 @@ UpdateBufferedIndex::UpdateBufferedIndex(const IndexOptions& options,
 
   if (options.update_buffer_merge_mode == MergeMode::kBackground) {
     scheduler_ = std::make_unique<MergeScheduler>([this] {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::shared_mutex> lock(mu_);
       Status status = MergeLocked();
       // A drained buffer is the natural checkpoint moment: the snapshot is
       // compact and the WAL tail covering the drain can be truncated.
@@ -93,7 +93,7 @@ Status UpdateBufferedIndex::Bulkload(std::span<const Record> records) {
 }
 
 Status UpdateBufferedIndex::Lookup(Key key, Payload* payload, bool* found) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   *found = false;
   UpdateBuffer::Probe probe = UpdateBuffer::Probe::kMiss;
   LIOD_RETURN_IF_ERROR(buffer_->Lookup(key, payload, &probe));
@@ -182,7 +182,7 @@ Status UpdateBufferedIndex::MaybeCheckpointLocked() {
 
 Status UpdateBufferedIndex::Insert(Key key, Payload payload) {
   LIOD_RETURN_IF_ERROR(CheckThreshold());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
   LIOD_RETURN_IF_ERROR(LogLocked(WalRecordType::kUpsert, key, payload));
   buffer_->Put(key, payload);
@@ -192,7 +192,7 @@ Status UpdateBufferedIndex::Insert(Key key, Payload payload) {
 
 Status UpdateBufferedIndex::Delete(Key key) {
   LIOD_RETURN_IF_ERROR(CheckThreshold());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
   LIOD_RETURN_IF_ERROR(LogLocked(WalRecordType::kTombstone, key, 0));
   buffer_->Delete(key);
@@ -232,7 +232,7 @@ Status UpdateBufferedIndex::FlushUpdates() {
   // Drain failures land in background_error_ (the scheduler itself always
   // reports Ok); WaitIdle here is purely the barrier.
   if (scheduler_ != nullptr) LIOD_RETURN_IF_ERROR(scheduler_->WaitIdle());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   LIOD_RETURN_IF_ERROR(TakeBackgroundErrorLocked());
   LIOD_RETURN_IF_ERROR(MergeLocked());
   return CheckpointLocked();
@@ -246,7 +246,7 @@ Status UpdateBufferedIndex::FlushBuffers() {
 Status UpdateBufferedIndex::ApplyRecovered(std::uint64_t max_lsn,
                                            std::uint64_t checkpoint_seqno,
                                            std::vector<StagedUpdate> updates) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "ApplyRecovered requires a durable index (durability != none)");
@@ -270,7 +270,7 @@ Status UpdateBufferedIndex::ApplyRecovered(std::uint64_t max_lsn,
 
 Status UpdateBufferedIndex::Scan(Key start_key, std::size_t count,
                                  std::vector<Record>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   out->clear();
   if (count == 0) return Status::Ok();
 
@@ -336,7 +336,7 @@ Status UpdateBufferedIndex::Scan(Key start_key, std::size_t count,
 }
 
 IndexStats UpdateBufferedIndex::GetIndexStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   IndexStats stats = base_->GetIndexStats();
   stats.disk_bytes += spill_file_->size_bytes();
   stats.freed_bytes += spill_file_->freed_blocks() * spill_file_->block_size();
@@ -363,42 +363,42 @@ IndexStats UpdateBufferedIndex::GetIndexStats() const {
 }
 
 std::size_t UpdateBufferedIndex::staged_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return buffer_->staged_records();
 }
 
 std::size_t UpdateBufferedIndex::spilled_run_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return buffer_->spilled_run_count();
 }
 
 std::uint64_t UpdateBufferedIndex::total_spills() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return buffer_->total_spills();
 }
 
 std::size_t UpdateBufferedIndex::overlay_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return overlay_.size();
 }
 
 std::uint64_t UpdateBufferedIndex::merges_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return merges_;
 }
 
 std::uint64_t UpdateBufferedIndex::wal_forced_writes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return wal_ != nullptr ? wal_->sync_writes() : 0;
 }
 
 std::uint64_t UpdateBufferedIndex::wal_last_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return wal_ != nullptr ? wal_->last_lsn() : 0;
 }
 
 std::uint64_t UpdateBufferedIndex::checkpoints_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return checkpoint_ != nullptr ? checkpoint_->checkpoints_written() : 0;
 }
 

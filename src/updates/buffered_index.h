@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -64,10 +65,16 @@ namespace liod {
 /// instead of being observable only at the end-of-window flush. Merges are
 /// idempotent, so the failure is surfaced once and the retry starts clean.
 ///
-/// Thread-safety: all operations serialize on an internal mutex, which is
-/// what lets a background MergeScheduler drain while the owning shard keeps
-/// serving (merges block only their own shard's operations, not other
-/// shards').
+/// Thread-safety: operations coordinate on an internal reader/writer
+/// latch. Writers (Insert/Delete/FlushUpdates/ApplyRecovered and the
+/// background drain) hold it exclusively, which is what lets a background
+/// MergeScheduler drain while the owning shard keeps serving (merges block
+/// only their own shard's operations, not other shards'). Read-only
+/// operations (Lookup/Scan/GetIndexStats/introspection) hold it shared and
+/// may run in parallel with each other -- the const-safe read path the
+/// engine's shared/optimistic shard-lock modes rely on: a lookup mutates
+/// nothing (staging map, spilled-run probes, and overlay are all read-only;
+/// spill-file block reads are latched inside the buffer manager).
 class UpdateBufferedIndex : public DiskIndex {
  public:
   /// Wraps `base` (must be non-null). `options` must have
@@ -177,7 +184,7 @@ class UpdateBufferedIndex : public DiskIndex {
   Status background_error_;
 
   std::unique_ptr<MergeScheduler> scheduler_;  // kBackground mode only
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace liod

@@ -106,7 +106,7 @@ Status UpdateBuffer::SearchRun(const Run& run, Key key, StagedUpdate* out,
   return Status::Ok();
 }
 
-Status UpdateBuffer::Lookup(Key key, Payload* payload, Probe* result) {
+Status UpdateBuffer::Lookup(Key key, Payload* payload, Probe* result) const {
   const auto it = staged_.find(key);
   if (it != staged_.end()) {
     *result = it->second.tombstone ? Probe::kTombstone : Probe::kUpsert;

@@ -72,8 +72,10 @@ class UpdateBuffer {
   };
 
   /// Probes staging, then runs newest-to-oldest (binary search over counted
-  /// block reads, fenced by in-memory min/max keys).
-  Status Lookup(Key key, Payload* payload, Probe* result);
+  /// block reads, fenced by in-memory min/max keys). Mutation-free, so any
+  /// number of threads may probe concurrently (the decorator's shared read
+  /// path does).
+  Status Lookup(Key key, Payload* payload, Probe* result) const;
 
   /// Appends every buffered entry with key >= start_key to `out`, sorted by
   /// key, newest-wins across staging and runs. Reads every qualifying run

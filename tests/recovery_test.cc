@@ -586,6 +586,52 @@ TEST(RecoveryPropertiesTest, BackgroundMergeErrorFailsTheNextWriteFast) {
   EXPECT_TRUE(index->Insert(bulk[0].key, 1).ok());
 }
 
+TEST(RecoveryPropertiesTest, LookupsRaceDurableBackgroundDrain) {
+  // The decorator's shared read path under full durability: lookups run
+  // while a writer stages WAL-logged inserts and the background scheduler
+  // drains (WAL forces, checkpoints, and base merges all hold the latch
+  // exclusively). Every lookup must see a pre- or post-insert answer --
+  // never a torn one -- and the log must stay replayable afterwards.
+  WalRig rig;
+  const IndexOptions options =
+      DurableOptions(DurabilityPolicy::kGroupCommit, &rig.slot, MergeMode::kBackground);
+  auto index = MakeIndex("btree", options);
+  ASSERT_NE(index, nullptr);
+  const std::vector<Key> bulk_keys = UniformKeys(2000, 23);
+  ASSERT_TRUE(index->Bulkload(ToRecords(bulk_keys)).ok());
+
+  const Key inserted_base = 1;  // UniformKeys starts at 1 + rng, stride apart
+  const std::size_t to_insert = 4000;
+  testing_util::RacingThreads workers;
+  workers.Start([&](const std::atomic<bool>& stop) -> Status {
+    for (std::size_t i = 0; i < to_insert && !stop.load(); ++i) {
+      const Key k = inserted_base + 2 * i;
+      LIOD_RETURN_IF_ERROR(index->Insert(k, PayloadFor(k)));
+    }
+    return Status::Ok();
+  });
+  for (int round = 0; round < 400; ++round) {
+    // Bulkloaded keys are never overwritten: always found, exact payload.
+    const Key bulk_key = bulk_keys[static_cast<std::size_t>(round * 31) % bulk_keys.size()];
+    Payload payload = 0;
+    bool found = false;
+    ASSERT_TRUE(index->Lookup(bulk_key, &payload, &found).ok());
+    ASSERT_TRUE(found) << bulk_key;
+    ASSERT_EQ(payload, PayloadFor(bulk_key));
+    // Racing keys are pre-or-post: absent, or present with the exact payload.
+    const Key racing = inserted_base + 2 * (static_cast<Key>(round) % to_insert);
+    found = false;
+    ASSERT_TRUE(index->Lookup(racing, &payload, &found).ok());
+    if (found) {
+      ASSERT_EQ(payload, PayloadFor(racing)) << racing;
+    }
+  }
+  const Status worker_status = workers.JoinAll();
+  ASSERT_TRUE(worker_status.ok()) << worker_status.ToString();
+  ASSERT_TRUE(index->FlushUpdates().ok());
+  EXPECT_GT(index->io_stats().snapshot().WritesFor(FileClass::kWal), 0u);
+}
+
 // --- engine integration -----------------------------------------------------
 
 TEST(RecoveryEngineTest, PerShardWalsRecoverIndividually) {

@@ -2,11 +2,17 @@
 #define LIOD_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace liod {
@@ -59,6 +65,78 @@ inline std::vector<Record> ToRecords(const std::vector<Key>& keys) {
   for (std::size_t i = 0; i < keys.size(); ++i) records[i] = {keys[i], PayloadFor(keys[i])};
   return records;
 }
+
+/// Cooperative racing-thread harness for concurrency tests (the shared home
+/// for the writer-racing-scanner boilerplate of update_buffer_test,
+/// recovery_test, and engine_concurrency_test).
+///
+/// Each worker is a callable `Status fn(const std::atomic<bool>& stop)` --
+/// long-running workers poll `stop` and return when it flips. JoinAll()
+/// requests the stop, joins every worker, and returns the first failure:
+/// either a worker's non-ok Status or an uncaught exception (converted to a
+/// Corruption status), so gtest assertions stay on the main thread:
+///
+///   RacingThreads workers;
+///   workers.Start([&](const std::atomic<bool>& stop) { ... });
+///   ... main-thread assertions racing the workers ...
+///   ASSERT_TRUE(workers.JoinAll().ok());
+class RacingThreads {
+ public:
+  RacingThreads() = default;
+  ~RacingThreads() { (void)JoinAll(); }
+  RacingThreads(const RacingThreads&) = delete;
+  RacingThreads& operator=(const RacingThreads&) = delete;
+
+  /// Launches one worker running `fn(stop)`.
+  template <typename Fn>
+  void Start(Fn fn) {
+    threads_.emplace_back([this, fn = std::move(fn)]() mutable {
+      Status status;
+      try {
+        status = fn(static_cast<const std::atomic<bool>&>(stop_));
+      } catch (const std::exception& e) {
+        status = Status::Corruption(std::string("worker threw: ") + e.what());
+      } catch (...) {
+        status = Status::Corruption("worker threw a non-std::exception");
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_.ok()) first_error_ = status;
+      }
+    });
+  }
+
+  /// Launches `n` workers, each running `fn(i, stop)` with its index.
+  template <typename Fn>
+  void StartN(std::size_t n, Fn fn) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Start([fn, i](const std::atomic<bool>& stop) { return fn(i, stop); });
+    }
+  }
+
+  /// Flips the stop flag without joining (workers wind down while the main
+  /// thread keeps asserting).
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Stops and joins every worker; returns the first captured failure.
+  /// Idempotent -- the destructor calls it as a safety net, so a test that
+  /// forgets still terminates.
+  Status JoinAll() {
+    RequestStop();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  Status first_error_;
+};
 
 }  // namespace testing_util
 }  // namespace liod

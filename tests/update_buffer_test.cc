@@ -474,18 +474,15 @@ TEST(UpdateBufferConcurrencyTest, MergeTriggeredMidScanStaysConsistent) {
   for (std::size_t i = 0; i < n; ++i) even.push_back(1000 + 2 * i);
   ASSERT_TRUE(index->Bulkload(ToRecords(even)).ok());
 
-  std::atomic<bool> stop{false};
-  std::atomic<bool> failed{false};
-  std::thread writer([&] {
+  testing_util::RacingThreads workers;
+  workers.Start([&](const std::atomic<bool>& stop) -> Status {
     // Odd keys interleave with the base and repeatedly cross the merge
     // threshold, so merges run concurrently with the scanner below.
     for (std::size_t i = 0; i < n && !stop.load(); ++i) {
       const Key k = 1001 + 2 * i;
-      if (!index->Insert(k, PayloadFor(k)).ok()) {
-        failed.store(true);
-        return;
-      }
+      LIOD_RETURN_IF_ERROR(index->Insert(k, PayloadFor(k)));
     }
+    return Status::Ok();
   });
   std::vector<Record> out;
   for (int round = 0; round < 200; ++round) {
@@ -505,9 +502,8 @@ TEST(UpdateBufferConcurrencyTest, MergeTriggeredMidScanStaysConsistent) {
       ASSERT_TRUE(returned.contains(k)) << "round " << round << " missing " << k;
     }
   }
-  stop.store(true);
-  writer.join();
-  ASSERT_FALSE(failed.load());
+  const Status worker_status = workers.JoinAll();
+  ASSERT_TRUE(worker_status.ok()) << worker_status.ToString();
   ASSERT_TRUE(index->FlushUpdates().ok());
 }
 

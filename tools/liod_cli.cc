@@ -76,6 +76,7 @@ struct CliArgs {
   std::size_t scan_length = 100;
   std::size_t threads = 1;
   std::size_t shards = 1;
+  std::string lock_mode = "exclusive";  // engine mode: shard latch discipline
   std::uint64_t seed = 42;
   double zipf_theta = 0.99;
   std::string disk = "both";
@@ -98,6 +99,7 @@ void Usage() {
       "             spans all shards in engine mode) --write-back\n"
       "           --scan-length N --disk hdd|ssd|both --csv --inner-in-memory\n"
       "           --threads N --shards N (engine mode when either > 1) --zipf THETA\n"
+      "           --lock-mode exclusive|shared|optimistic (engine shard latches)\n"
       "           --update-buffer BLOCKS (0 = in-place) --merge-mode sync|background\n"
       "           --merge-threshold F (fraction of staging capacity; > 1 spills runs)\n"
       "           --durability none|async|group-commit|sync-per-op (WAL for the\n"
@@ -158,6 +160,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->threads = std::strtoull(v, nullptr, 10);
     } else if (a == "--shards") {
       args->shards = std::strtoull(v, nullptr, 10);
+    } else if (a == "--lock-mode") {
+      args->lock_mode = v;
     } else if (a == "--seed") {
       args->seed = std::strtoull(v, nullptr, 10);
     } else if (a == "--zipf") {
@@ -353,6 +357,10 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
   engine_options.index_name = args.index;
   engine_options.num_shards = args.shards;
   engine_options.index = options;
+  if (!ShardLockModeFromName(args.lock_mode, &engine_options.shard_lock_mode)) {
+    std::fprintf(stderr, "unknown lock mode '%s'\n", args.lock_mode.c_str());
+    return 2;
+  }
   // A shared budget in engine mode means one pool for the whole engine.
   engine_options.share_buffers_across_shards = args.buffer_budget > 0;
   ShardedEngine engine(engine_options);
@@ -379,15 +387,16 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
       result.operations == 0 ? 1.0 : static_cast<double>(result.operations);
   if (args.csv) {
     std::printf(
-        "index,dataset,workload,threads,shards,disk,ops,tput_ops_s,reads_per_op,"
-        "writes_per_op,p99_us,disk_mib,height,smos,hit_inner,hit_leaf,hit_overall,"
-        "durability,wal_writes\n");
+        "index,dataset,workload,threads,shards,lock_mode,disk,ops,tput_ops_s,"
+        "reads_per_op,writes_per_op,p99_us,disk_mib,height,smos,hit_inner,hit_leaf,"
+        "hit_overall,durability,wal_writes\n");
     for (const DiskModel& disk : disks) {
       std::printf(
-          "%s,%s,%s,%zu,%zu,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu,"
+          "%s,%s,%s,%zu,%zu,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu,"
           "%.3f,%.3f,%.3f,%s,%llu\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(), args.threads,
-          engine.num_shards(), disk.name.c_str(),
+          engine.num_shards(), ShardLockModeName(engine_options.shard_lock_mode),
+          disk.name.c_str(),
           static_cast<unsigned long long>(result.operations), result.ThroughputOps(disk),
           static_cast<double>(result.io.TotalReads()) / ops_den,
           static_cast<double>(result.io.TotalWrites()) / ops_den,
@@ -402,10 +411,13 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
     return 0;
   }
 
-  std::printf("%s on %s / %s: %llu ops, %zu threads x %zu shards, %zu bulkloaded keys\n",
-              args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
-              static_cast<unsigned long long>(result.operations), args.threads,
-              engine.num_shards(), w.bulk.size());
+  std::printf(
+      "%s on %s / %s: %llu ops, %zu threads x %zu shards (%s locking), "
+      "%zu bulkloaded keys\n",
+      args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
+      static_cast<unsigned long long>(result.operations), args.threads,
+      engine.num_shards(), ShardLockModeName(engine_options.shard_lock_mode),
+      w.bulk.size());
   std::printf("  blocks/op: %.2f read, %.2f written\n",
               static_cast<double>(result.io.TotalReads()) / ops_den,
               static_cast<double>(result.io.TotalWrites()) / ops_den);
