@@ -1,15 +1,21 @@
 #ifndef LIOD_BENCH_BENCH_COMMON_H_
 #define LIOD_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/options.h"
 #include "core/index_factory.h"
 #include "storage/disk_model.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace_recorder.h"
 #include "workload/datasets.h"
 #include "workload/runner.h"
 #include "workload/workloads.h"
@@ -44,6 +50,12 @@ struct BenchArgs {
   std::vector<std::string> datasets = RepresentativeDatasetNames();  // fb osm ycsb
   std::vector<std::string> indexes = StudiedIndexNames();
 
+  // --- telemetry (off by default; see src/telemetry/ and BenchTelemetry) ---
+  std::string metrics_out;          ///< --metrics-out: final registry JSON
+  std::string trace_out;            ///< --trace-out: Chrome trace-event JSON
+  std::string sample_out;           ///< --sample-out: periodic metrics CSV
+  std::size_t sample_every_ms = 0;  ///< --sample-every-ms (0 = 100 when sampling)
+
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
@@ -69,15 +81,102 @@ struct BenchArgs {
         args.datasets = SplitList(next());
       } else if (a == "--indexes") {
         args.indexes = SplitList(next());
+      } else if (a == "--metrics-out") {
+        args.metrics_out = next();
+      } else if (a == "--trace-out") {
+        args.trace_out = next();
+      } else if (a == "--sample-out") {
+        args.sample_out = next();
+      } else if (a == "--sample-every-ms") {
+        args.sample_every_ms = std::strtoull(next(), nullptr, 10);
       } else if (a == "--help" || a == "-h") {
         std::printf(
             "flags: --search-keys N --search-ops N --write-bulk N --write-ops N"
-            " --seed N --datasets a,b,c --indexes a,b,c\n");
+            " --seed N --datasets a,b,c --indexes a,b,c\n"
+            "       --metrics-out FILE --trace-out FILE --sample-out FILE"
+            " --sample-every-ms N\n");
         std::exit(0);
       }
     }
+    if (!args.sample_out.empty() && args.sample_every_ms == 0) args.sample_every_ms = 100;
     return args;
   }
+};
+
+/// Opt-in telemetry for one bench binary: owns the registry/trace the flags
+/// ask for, injects them into IndexOptions/RunnerConfig, and writes the
+/// output files at Finish(). Everything stays null (zero overhead, bit-exact
+/// I/O) when no telemetry flag was passed. Declare it before any index so the
+/// registry outlives every gauge registration.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(const BenchArgs& args) : args_(args) {
+    if (!args.metrics_out.empty() || !args.sample_out.empty()) {
+      metrics_ = std::make_unique<MetricRegistry>();
+    }
+    if (!args.trace_out.empty()) trace_ = std::make_unique<TraceRecorder>();
+  }
+
+  void Apply(IndexOptions* options) const {
+    options->metrics = metrics_.get();
+    options->trace = trace_.get();
+  }
+
+  void Apply(RunnerConfig* config) const {
+    config->metrics = metrics_.get();
+    config->trace = trace_.get();
+  }
+
+  /// Starts the --sample-out sampler if not yet running. Call after the first
+  /// index is constructed so the frozen CSV columns include its metrics
+  /// (later registrations of the SAME names accumulate into those columns).
+  void EnsureSampler() {
+    if (sampler_ != nullptr || args_.sample_out.empty() || metrics_ == nullptr) return;
+    sampler_ = std::make_unique<TelemetrySampler>(
+        metrics_.get(), args_.sample_out,
+        std::chrono::milliseconds(args_.sample_every_ms));
+  }
+
+  /// Stops the sampler and writes --metrics-out / --trace-out. Returns false
+  /// (after printing to stderr) on any I/O failure.
+  bool Finish() {
+    bool ok = true;
+    if (sampler_ != nullptr) {
+      const Status status = sampler_->Stop();
+      if (!status.ok()) {
+        std::fprintf(stderr, "telemetry sampler failed: %s\n", status.ToString().c_str());
+        ok = false;
+      }
+      sampler_.reset();
+    }
+    if (!args_.metrics_out.empty() && metrics_ != nullptr) {
+      ok = WriteFile(args_.metrics_out, metrics_->ToJson()) && ok;
+    }
+    if (!args_.trace_out.empty() && trace_ != nullptr) {
+      ok = WriteFile(args_.trace_out, trace_->ToChromeTraceJson()) && ok;
+    }
+    return ok;
+  }
+
+  MetricRegistry* metrics() { return metrics_.get(); }
+  TraceRecorder* trace() { return trace_.get(); }
+
+ private:
+  static bool WriteFile(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  const BenchArgs args_;
+  std::unique_ptr<MetricRegistry> metrics_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<TelemetrySampler> sampler_;
 };
 
 /// Paper-default index parameters at bench scale: 4 KB blocks, error bound

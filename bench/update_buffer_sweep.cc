@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   // B+-tree baseline plus ALEX (the paper's strongest learned writer); pass
   // --indexes to widen.
   if (args.indexes == StudiedIndexNames()) args.indexes = {"btree", "alex"};
+  // --metrics-out/--trace-out/--sample-out: merge/WAL/op telemetry across the
+  // whole sweep (counters accumulate over every configuration).
+  BenchTelemetry telemetry(args);
 
   const WorkloadType workloads[] = {WorkloadType::kYcsbA, WorkloadType::kYcsbD,
                                     WorkloadType::kYcsbF};
@@ -63,11 +66,13 @@ int main(int argc, char** argv) {
           options.update_buffer_blocks = point.buffer_blocks;
           options.update_buffer_merge_mode = point.mode;
           options.update_buffer_merge_threshold = point.threshold;
+          telemetry.Apply(&options);
           auto index = MakeIndex(index_name, options);
           if (index == nullptr) {
             std::fprintf(stderr, "unknown index %s\n", index_name.c_str());
             return 2;
           }
+          telemetry.EnsureSampler();
           const bool grows = WorkloadGrowsDataset(type);
           const std::size_t dataset_keys =
               grows ? args.write_bulk + args.write_ops : args.write_bulk;
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
           const Workload w = BuildWorkload(keys, spec);
           RunnerConfig config;
           config.check_lookups = true;  // all configs must answer identically
+          telemetry.Apply(&config);
           const RunResult result = MustRun(index.get(), w, config);
 
           std::uint64_t merges = 0, spills = 0;
@@ -104,5 +110,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return telemetry.Finish() ? 0 : 1;
 }

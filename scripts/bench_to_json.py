@@ -11,8 +11,9 @@ row becomes one JSON record tagged with its label; the required columns
 (``tput_ops_s``, ``reads_per_op``, ``writes_per_op``) plus the identifying
 ``index``/``workload``/``ops`` columns must be present and numeric where
 numeric is expected. The durability columns (``wal_writes``, ``replay_ms``)
-are optional but validated just as strictly when present: non-numeric or
-negative values fail the conversion. Any malformed input -- missing file,
+and tail-latency columns (``p50_us``, ``p999_us``) are optional but validated
+just as strictly when present: non-numeric or negative values fail the
+conversion. Any malformed input -- missing file,
 empty file, missing required column, non-numeric metric, truncated row --
 exits non-zero with a diagnostic, so CI fails instead of uploading garbage.
 
@@ -29,9 +30,11 @@ import sys
 REQUIRED_COLUMNS = ("index", "workload", "ops", "tput_ops_s", "reads_per_op",
                     "writes_per_op")
 NUMERIC_COLUMNS = ("ops", "tput_ops_s", "reads_per_op", "writes_per_op")
-# Durability columns (liod_cli --durability, bench/recovery_sweep): optional,
-# but when a CSV declares them they must parse and be non-negative.
-OPTIONAL_NUMERIC_COLUMNS = ("wal_writes", "replay_ms", "replayed_records")
+# Durability columns (liod_cli --durability, bench/recovery_sweep) and tail
+# latency columns (liod_cli p50_us/p999_us): optional, but when a CSV
+# declares them they must parse and be non-negative.
+OPTIONAL_NUMERIC_COLUMNS = ("wal_writes", "replay_ms", "replayed_records",
+                            "p50_us", "p999_us")
 SCHEMA = "liod-bench-smoke/1"
 
 

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Schema-check liod telemetry artifacts: metrics JSON, Chrome trace, sampler CSV.
+
+Usage:
+    validate_metrics.py --metrics metrics.json [--require-metrics a,b,c]
+                        [--trace trace.json    [--require-spans x,y,z]]
+                        [--samples samples.csv]
+
+Any malformed artifact exits non-zero with a diagnostic, so CI fails instead
+of uploading garbage:
+
+* ``--metrics``: must be ``{"schema": "liod-telemetry/1", "counters": {...},
+  "gauges": {...}, "histograms": {...}}``. Counters must be non-negative
+  integers; gauges finite numbers (the registry emits NaN/Infinity verbatim
+  exactly so this check rejects them); each histogram needs a non-negative
+  ``count``, finite non-negative ``sum_us`` and quantiles, and bucket counts
+  that sum to ``count``. ``--require-metrics`` lists counter or histogram
+  names that must exist with a non-zero value/count.
+* ``--trace``: Chrome trace-event JSON with a non-empty ``traceEvents`` list
+  of complete ("ph":"X") events carrying a name and numeric non-negative
+  ``ts``/``dur``. ``--require-spans`` lists span names that must occur.
+* ``--samples``: the periodic sampler CSV. Header must start with ``ts_ms``,
+  every row must have the header's width with finite non-negative cells, and
+  ``ts_ms`` must be non-decreasing.
+"""
+
+import argparse
+import csv
+import json
+import math
+import os
+import sys
+
+METRICS_SCHEMA = "liod-telemetry/1"
+
+
+def fail(message: str) -> None:
+    print(f"validate_metrics: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str, label: str):
+    if not os.path.exists(path):
+        fail(f"{label}: no such file: {path}")
+    with open(path) as f:
+        try:
+            # The registry serializes non-finite doubles verbatim; json.load
+            # would silently accept NaN/Infinity, so turn them into failures.
+            return json.load(f, parse_constant=lambda token: fail(
+                f"{label}: {path} contains non-finite number {token}"))
+        except json.JSONDecodeError as e:
+            fail(f"{label}: {path} is not valid JSON: {e}")
+
+
+def check_finite_number(value, context: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(f"{context} is not a number: {value!r}")
+    if not math.isfinite(value):
+        fail(f"{context} is not finite: {value!r}")
+    return float(value)
+
+
+def validate_metrics(path: str, required: list) -> None:
+    doc = load_json(path, "metrics")
+    if not isinstance(doc, dict):
+        fail(f"metrics: {path} top level is not an object")
+    if doc.get("schema") != METRICS_SCHEMA:
+        fail(f"metrics: {path} schema is {doc.get('schema')!r}, want {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"metrics: {path} is missing object section {section!r}")
+
+    for name, value in doc["counters"].items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            fail(f"metrics: counter {name!r} is not an integer: {value!r}")
+        if value < 0:
+            fail(f"metrics: counter {name!r} is negative: {value}")
+    for name, value in doc["gauges"].items():
+        check_finite_number(value, f"metrics: gauge {name!r}")
+
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(f"metrics: histogram {name!r} is not an object")
+        count = hist.get("count")
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            fail(f"metrics: histogram {name!r} count is invalid: {count!r}")
+        for field in ("sum_us", "p50_us", "p90_us", "p99_us", "p999_us"):
+            if check_finite_number(hist.get(field), f"metrics: histogram {name!r}.{field}") < 0:
+                fail(f"metrics: histogram {name!r}.{field} is negative")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"metrics: histogram {name!r} has no buckets list")
+        total = 0
+        for bucket in buckets:
+            if not (isinstance(bucket, list) and len(bucket) == 3):
+                fail(f"metrics: histogram {name!r} bucket is not [lo, hi, n]: {bucket!r}")
+            lo = check_finite_number(bucket[0], f"metrics: histogram {name!r} bucket lo")
+            hi = check_finite_number(bucket[1], f"metrics: histogram {name!r} bucket hi")
+            n = bucket[2]
+            if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+                fail(f"metrics: histogram {name!r} bucket count is invalid: {n!r}")
+            if not 0 <= lo < hi:
+                fail(f"metrics: histogram {name!r} bucket bounds invalid: [{lo}, {hi})")
+            total += n
+        if total != count:
+            fail(f"metrics: histogram {name!r} bucket counts sum to {total}, count says {count}")
+
+    for name in required:
+        if name in doc["counters"]:
+            if doc["counters"][name] == 0:
+                fail(f"metrics: required counter {name!r} is zero")
+        elif name in doc["histograms"]:
+            if doc["histograms"][name]["count"] == 0:
+                fail(f"metrics: required histogram {name!r} is empty")
+        elif name not in doc["gauges"]:
+            fail(f"metrics: required metric {name!r} is missing")
+    print(f"validate_metrics: {path}: {len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms OK")
+
+
+def validate_trace(path: str, required_spans: list) -> None:
+    doc = load_json(path, "trace")
+    if not isinstance(doc, dict):
+        fail(f"trace: {path} top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"trace: {path} has no traceEvents")
+    names = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"trace: {path} event #{i} is not an object")
+        if event.get("ph") != "X":
+            fail(f"trace: {path} event #{i} is not a complete event: ph={event.get('ph')!r}")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"trace: {path} event #{i} has no name")
+        for field in ("ts", "dur"):
+            if check_finite_number(event.get(field), f"trace: event #{i} ({name}) {field}") < 0:
+                fail(f"trace: {path} event #{i} ({name}) {field} is negative")
+        names.add(name)
+    missing = [s for s in required_spans if s not in names]
+    if missing:
+        fail(f"trace: {path} is missing required span(s) {missing}; has {sorted(names)}")
+    print(f"validate_metrics: {path}: {len(events)} events, "
+          f"{len(names)} span kind(s) OK")
+
+
+def validate_samples(path: str) -> None:
+    if not os.path.exists(path):
+        fail(f"samples: no such file: {path}")
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            fail(f"samples: {path} is empty")
+        if not header or header[0] != "ts_ms":
+            fail(f"samples: {path} header does not start with ts_ms: {header[:3]}")
+        rows = 0
+        last_ts = -1.0
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                fail(f"samples: {path}:{lineno} has {len(row)} cells, header has {len(header)}")
+            for column, cell in zip(header, row):
+                try:
+                    value = float(cell)
+                except ValueError:
+                    fail(f"samples: {path}:{lineno} column {column!r} is not numeric: {cell!r}")
+                if not math.isfinite(value) or value < 0:
+                    fail(f"samples: {path}:{lineno} column {column!r} is invalid: {cell!r}")
+            ts = float(row[0])
+            if ts < last_ts:
+                fail(f"samples: {path}:{lineno} ts_ms goes backwards: {ts} < {last_ts}")
+            last_ts = ts
+            rows += 1
+        if rows == 0:
+            fail(f"samples: {path} has a header but no data rows")
+    print(f"validate_metrics: {path}: {rows} sample row(s) OK")
+
+
+def split_list(value: str) -> list:
+    return [item for item in (value or "").split(",") if item]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics JSON to validate")
+    parser.add_argument("--require-metrics", default="",
+                        help="comma-separated metric names that must be present and non-zero")
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--require-spans", default="",
+                        help="comma-separated span names that must occur in the trace")
+    parser.add_argument("--samples", help="sampler CSV to validate")
+    args = parser.parse_args()
+
+    if not (args.metrics or args.trace or args.samples):
+        fail("nothing to validate: pass --metrics, --trace, and/or --samples")
+    if args.require_metrics and not args.metrics:
+        fail("--require-metrics needs --metrics")
+    if args.require_spans and not args.trace:
+        fail("--require-spans needs --trace")
+
+    if args.metrics:
+        validate_metrics(args.metrics, split_list(args.require_metrics))
+    if args.trace:
+        validate_trace(args.trace, split_list(args.require_spans))
+    if args.samples:
+        validate_samples(args.samples)
+
+
+if __name__ == "__main__":
+    main()

@@ -153,6 +153,8 @@ inline bool DurabilityPolicyFromName(const std::string& name, DurabilityPolicy* 
 class BufferManager;     // storage/buffer_manager.h
 class DurableSlot;       // recovery/durable_store.h
 class GroupCommitWindow; // recovery/wal_writer.h
+class MetricRegistry;    // telemetry/metric_registry.h
+class TraceRecorder;     // telemetry/trace_recorder.h
 
 /// Shared configuration for every index in the library. Defaults follow the
 /// paper's experimental setup (Section 5.3). Each field documents its unit,
@@ -262,6 +264,27 @@ struct IndexOptions {
   /// nullptr: the decorator owns a private window. Must outlive the index.
   /// Consumed by UpdateBufferedIndex when durability == kGroupCommit.
   GroupCommitWindow* group_commit = nullptr;
+
+  /// Non-owning escape hatch: when set, the components under this index
+  /// (UpdateBufferedIndex, WalWriter, RecoveryManager, plus ShardedEngine
+  /// and the runners, which read it from their own options) record named
+  /// counters/gauges/histograms here. Default nullptr = telemetry off: the
+  /// hot paths see one null-pointer branch and every existing bit-exact I/O
+  /// pin is untouched. Metrics observe, never perturb: recording changes no
+  /// counted device I/O. Must outlive the index (gauges registered by the
+  /// decorator are unregistered in its destructor). Consumed via
+  /// src/telemetry/.
+  MetricRegistry* metrics = nullptr;
+
+  /// Non-owning escape hatch: span recorder for the same components (op,
+  /// merge-drain, WAL-force, checkpoint, lock-wait spans; Chrome trace-event
+  /// export). Default nullptr = off. Must outlive the index.
+  TraceRecorder* trace = nullptr;
+
+  /// Prefix for every metric name the index's own components register
+  /// ("shard3." under an engine). Default "" (standalone index). Consumed
+  /// wherever `metrics` is.
+  std::string metrics_prefix;
 
   /// Unit: flag; default false; consumed by every index family. When true,
   /// inner-node files are pinned in main memory and their I/O is excluded

@@ -1,5 +1,8 @@
 #include "core/op_breakdown.h"
 
+#include <functional>
+#include <thread>
+
 namespace liod {
 
 const char* OpPhaseName(OpPhase phase) {
@@ -12,17 +15,41 @@ const char* OpPhaseName(OpPhase phase) {
   return "unknown";
 }
 
+OpBreakdown::Stripe& OpBreakdown::LocalStripe() const {
+  // Hashed once per thread, not per call: the stripe choice depends only on
+  // the thread, so it is shared by every OpBreakdown instance the thread
+  // touches.
+  static const thread_local std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kNumStripes;
+  return stripes_[stripe];
+}
+
 void OpBreakdown::Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PhaseTotals& t = totals_[static_cast<int>(phase)];
+  Stripe& stripe = LocalStripe();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  PhaseTotals& t = stripe.totals[static_cast<int>(phase)];
   t.cpu_us += cpu_us;
   t.io += io_delta;
   ++t.events;
 }
 
+OpBreakdown::PhaseTotals OpBreakdown::totals(OpPhase phase) const {
+  PhaseTotals merged;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const PhaseTotals& t = stripe.totals[static_cast<int>(phase)];
+    merged.cpu_us += t.cpu_us;
+    merged.io += t.io;
+    merged.events += t.events;
+  }
+  return merged;
+}
+
 void OpBreakdown::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& t : totals_) t = PhaseTotals{};
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& t : stripe.totals) t = PhaseTotals{};
+  }
 }
 
 double OpBreakdown::AvgLatencyUs(OpPhase phase, const DiskModel& model,

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 
@@ -26,10 +27,14 @@ const char* OpPhaseName(OpPhase phase);
 
 /// Accumulates CPU time and I/O per phase across many operations.
 ///
-/// Thread-safe: Record serializes on an internal mutex. Every index op --
-/// including read-only lookups -- charges a PhaseScope here, and under the
-/// engine's shared/optimistic lock modes those lookups run in parallel on
-/// one index instance.
+/// Thread-safe without a shared serialization point: totals are striped
+/// across a fixed set of mutex-guarded stripes, each thread hashing to one
+/// stripe, and totals() merges the stripes on read (the same
+/// merge-on-read shape as IoStats::ThreadTally). Every index op -- including
+/// read-only lookups -- charges a PhaseScope here, and under the engine's
+/// shared/optimistic lock modes those lookups run in parallel on one index
+/// instance; a single global mutex made Record a serialization point
+/// exactly where the engine is supposed to scale.
 class OpBreakdown {
  public:
   struct PhaseTotals {
@@ -39,11 +44,10 @@ class OpBreakdown {
   };
 
   void Record(OpPhase phase, double cpu_us, const IoStatsSnapshot& io_delta);
-  /// Copy of one phase's totals (a reference would race with Record).
-  PhaseTotals totals(OpPhase phase) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return totals_[static_cast<int>(phase)];
-  }
+  /// One phase's totals merged across stripes. Exact once recording threads
+  /// are quiescent; concurrent with Record it may miss in-flight events
+  /// (same contract as IoStats::snapshot()).
+  PhaseTotals totals(OpPhase phase) const;
   void Reset();
 
   /// Average modeled latency (CPU + modeled I/O) per *operation* for one
@@ -51,18 +55,31 @@ class OpBreakdown {
   double AvgLatencyUs(OpPhase phase, const DiskModel& model, std::uint64_t ops) const;
 
  private:
-  mutable std::mutex mu_;
-  std::array<PhaseTotals, kNumOpPhases> totals_;
+  // 16 stripes bounds the per-instance footprint (every DiskIndex owns one
+  // OpBreakdown, and tests create thousands) while keeping the collision
+  // odds low at the thread counts the engine runs.
+  static constexpr std::size_t kNumStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::array<PhaseTotals, kNumOpPhases> totals;
+  };
+
+  Stripe& LocalStripe() const;
+
+  mutable std::array<Stripe, kNumStripes> stripes_;
 };
 
-/// RAII scope that charges elapsed CPU time and I/O to one phase.
+/// RAII scope that charges elapsed CPU time and I/O to one phase. I/O is
+/// captured with a thread-exact ThreadTally, not a stats-wide snapshot
+/// delta, so parallel readers on one index cannot double-count each other's
+/// fetches into their own phase.
 class PhaseScope {
  public:
   PhaseScope(OpBreakdown* breakdown, IoStats* stats, OpPhase phase)
       : breakdown_(breakdown),
-        stats_(stats),
         phase_(phase),
-        io_before_(stats->snapshot()),
+        tally_(stats, &io_delta_),
         start_(std::chrono::steady_clock::now()) {}
 
   PhaseScope(const PhaseScope&) = delete;
@@ -72,14 +89,14 @@ class PhaseScope {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     const double cpu_us =
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed).count();
-    breakdown_->Record(phase_, cpu_us, stats_->snapshot() - io_before_);
+    breakdown_->Record(phase_, cpu_us, io_delta_);
   }
 
  private:
   OpBreakdown* breakdown_;
-  IoStats* stats_;
   OpPhase phase_;
-  IoStatsSnapshot io_before_;
+  IoStatsSnapshot io_delta_;  ///< must outlive tally_ (declared first)
+  IoStats::ThreadTally tally_;
   std::chrono::steady_clock::time_point start_;
 };
 

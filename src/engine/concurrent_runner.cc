@@ -56,6 +56,9 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
     }
     out->io += delta;
     ++out->operations;
+    if (config.progress != nullptr) {
+      config.progress->fetch_add(1, std::memory_order_relaxed);
+    }
     if (config.record_samples) {
       OpSample sample;
       sample.cpu_us = static_cast<float>(ElapsedUs(op_start));
@@ -141,6 +144,7 @@ Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& wo
   if (config.drop_caches_after_bulkload) LIOD_RETURN_IF_ERROR(engine->DropCaches());
 
   // --- measured op phase ----------------------------------------------------
+  if (config.before_ops) config.before_ops();
   const IoStatsSnapshot before_ops = engine->MergedIo();
   const std::vector<IoStatsSnapshot> shard_before = engine->PerShardIo();
   const std::size_t num_threads = workload.thread_ops.size();

@@ -1,7 +1,9 @@
 #ifndef LIOD_ENGINE_CONCURRENT_RUNNER_H_
 #define LIOD_ENGINE_CONCURRENT_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -70,6 +72,16 @@ struct ConcurrentRunnerConfig {
   bool record_samples = false;  ///< keep per-op samples (tail-latency study)
   bool drop_caches_after_bulkload = true;
   bool check_lookups = false;  ///< fail if a lookup or RMW misses its key
+  /// Bumped once per completed operation across all tapes (relaxed); a
+  /// progress-reporting thread may read it concurrently. Non-owning, may be
+  /// null. Per-op metrics and spans come from the engine itself
+  /// (EngineOptions::index.metrics / .trace), not from the runner.
+  std::atomic<std::uint64_t>* progress = nullptr;
+  /// Invoked once after bulkload + cache drop (so after the engine has
+  /// registered every metric), immediately before the measured phase -- the
+  /// point where a periodic sampler sees every metric name, and a progress
+  /// thread can start against the now-built shards.
+  std::function<void()> before_ops;
 };
 
 /// Bulkloads `workload.bulk` into the engine, then executes every thread tape

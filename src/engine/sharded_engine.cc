@@ -1,16 +1,37 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/index_factory.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
 
 namespace liod {
 
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 ShardedEngine::ShardedEngine(const EngineOptions& options) : options_(options) {}
 
-ShardedEngine::~ShardedEngine() = default;
+ShardedEngine::~ShardedEngine() {
+  // Buffer gauges capture per-shard IoStats pointers; drop them before the
+  // shards (declared after metrics_ but destroyed first as members of this
+  // object, so ordering here is what matters).
+  if (metrics_ != nullptr) {
+    for (const std::string& name : gauge_names_) metrics_->UnregisterGauge(name);
+  }
+}
 
 Status ShardedEngine::CheckReady() const {
   if (shards_.empty()) {
@@ -84,6 +105,11 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     if (durable_store != nullptr) shard_options.durable_slot = durable_store->slot(i);
+    // Per-shard metric namespace: the decorator and WAL register their
+    // counters/gauges under "shard<i>." so one registry can hold every shard.
+    if (shard_options.metrics != nullptr || shard_options.trace != nullptr) {
+      shard_options.metrics_prefix = "shard" + std::to_string(i) + ".";
+    }
     shard->index = MakeIndex(options_.index_name, shard_options);
     if (shard->index == nullptr) {
       shards_.clear();
@@ -122,7 +148,47 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
       return status;
     }
   }
+  RegisterTelemetry();
   return Status::Ok();
+}
+
+void ShardedEngine::RegisterTelemetry() {
+  metrics_ = options_.index.metrics;
+  trace_ = options_.index.trace;
+  if (metrics_ == nullptr) return;
+  lookup_us_id_ = metrics_->Histogram("engine.lookup_us");
+  insert_us_id_ = metrics_->Histogram("engine.insert_us");
+  rmw_us_id_ = metrics_->Histogram("engine.rmw_us");
+  scan_us_id_ = metrics_->Histogram("engine.scan_us");
+  lock_wait_us_id_ = metrics_->Histogram("engine.lock_wait_us");
+  shard_metric_ids_.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    ShardMetricIds& ids = shard_metric_ids_[i];
+    ids.lookups = metrics_->Counter(prefix + "ops.lookup");
+    ids.inserts = metrics_->Counter(prefix + "ops.insert");
+    ids.rmws = metrics_->Counter(prefix + "ops.rmw");
+    ids.scans = metrics_->Counter(prefix + "ops.scan");
+    ids.lock_waits = metrics_->Counter(prefix + "lock_waits");
+    const std::vector<std::string> names =
+        RegisterBufferGauges(metrics_, prefix, &shards_[i]->index->io_stats());
+    gauge_names_.insert(gauge_names_.end(), names.begin(), names.end());
+  }
+}
+
+void ShardedEngine::BlockingSharedAcquire(std::size_t s, Shard& shard) {
+  shard.index->io_stats().CountReadLockWait();
+  if (metrics_ == nullptr && trace_ == nullptr) {
+    shard.mu.lock_shared();
+    return;
+  }
+  TraceRecorder::Scope span(trace_, "lock_wait", "lock", static_cast<int>(s));
+  const auto start = std::chrono::steady_clock::now();
+  shard.mu.lock_shared();
+  if (metrics_ != nullptr) {
+    metrics_->Add(shard_metric_ids_[s].lock_waits);
+    metrics_->Observe(lock_wait_us_id_, ElapsedUs(start));
+  }
 }
 
 template <typename Op>
@@ -167,8 +233,7 @@ Status ShardedEngine::ReadOnShard(std::size_t s, IoStatsSnapshot* io,
       if (!shard.mu.try_lock_shared()) {
         // A writer (or latch contention) is in the way: count the blocking
         // acquisition, then wait.
-        shard.index->io_stats().CountReadLockWait();
-        shard.mu.lock_shared();
+        BlockingSharedAcquire(s, shard);
       }
       std::shared_lock<std::shared_mutex> lock(shard.mu, std::adopt_lock);
       return RunSharedLocked(s, io, shared_io, op);
@@ -198,65 +263,116 @@ Status ShardedEngine::ReadOnShard(std::size_t s, IoStatsSnapshot* io,
       }
       // Contended past the retry budget: degrade to the shared mode's
       // blocking acquisition.
-      shard.index->io_stats().CountReadLockWait();
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      BlockingSharedAcquire(s, shard);
+      std::shared_lock<std::shared_mutex> lock(shard.mu, std::adopt_lock);
       return RunSharedLocked(s, io, shared_io, op);
     }
   }
   return Status::InvalidArgument("ShardedEngine: unknown shard_lock_mode");
 }
 
+// Each public op keeps a telemetry-off fast path that is byte-for-byte the
+// historical code (no clock reads, no extra branches inside the latch), so
+// the default configuration's timing and counted I/O are untouched. The
+// instrumented path wraps the SAME body -- telemetry observes the op, it
+// never changes what the op does.
+
 Status ShardedEngine::Lookup(Key key, Payload* payload, bool* found, IoStatsSnapshot* io,
                              std::vector<IoStatsSnapshot>* shared_io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  return ReadOnShard(ShardFor(key), io, shared_io, [&](DiskIndex* index) {
-    return index->Lookup(key, payload, found);
-  });
+  const std::size_t s = ShardFor(key);
+  const auto op = [&](DiskIndex* index) { return index->Lookup(key, payload, found); };
+  if (metrics_ == nullptr && trace_ == nullptr) return ReadOnShard(s, io, shared_io, op);
+  TraceRecorder::Scope span(trace_, "lookup", "op", static_cast<int>(s));
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = ReadOnShard(s, io, shared_io, op);
+  if (metrics_ != nullptr) {
+    metrics_->Add(shard_metric_ids_[s].lookups);
+    metrics_->Observe(lookup_us_id_, ElapsedUs(start));
+  }
+  return status;
 }
 
 Status ShardedEngine::Insert(Key key, Payload payload, IoStatsSnapshot* io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  Shard& shard = *shards_[ShardFor(key)];
-  WriteGuard guard(shard);
-  const IoStatsSnapshot before = shard.index->io_stats().snapshot();
-  const Status status = shard.index->Insert(key, payload);
-  if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+  const std::size_t s = ShardFor(key);
+  Shard& shard = *shards_[s];
+  const auto run = [&] {
+    WriteGuard guard(shard);
+    const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+    const Status status = shard.index->Insert(key, payload);
+    if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+    return status;
+  };
+  if (metrics_ == nullptr && trace_ == nullptr) return run();
+  TraceRecorder::Scope span(trace_, "insert", "op", static_cast<int>(s));
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = run();
+  if (metrics_ != nullptr) {
+    metrics_->Add(shard_metric_ids_[s].inserts);
+    metrics_->Observe(insert_us_id_, ElapsedUs(start));
+  }
   return status;
 }
 
 Status ShardedEngine::ReadModifyWrite(Key key, Payload payload, bool* found,
                                       IoStatsSnapshot* io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  Shard& shard = *shards_[ShardFor(key)];
-  WriteGuard guard(shard);
-  const IoStatsSnapshot before = shard.index->io_stats().snapshot();
-  Payload current = 0;
-  Status status = shard.index->Lookup(key, &current, found);
-  if (status.ok()) status = shard.index->Insert(key, payload);
-  if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+  const std::size_t s = ShardFor(key);
+  Shard& shard = *shards_[s];
+  const auto run = [&] {
+    WriteGuard guard(shard);
+    const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+    Payload current = 0;
+    Status status = shard.index->Lookup(key, &current, found);
+    if (status.ok()) status = shard.index->Insert(key, payload);
+    if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+    return status;
+  };
+  if (metrics_ == nullptr && trace_ == nullptr) return run();
+  TraceRecorder::Scope span(trace_, "rmw", "op", static_cast<int>(s));
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = run();
+  if (metrics_ != nullptr) {
+    metrics_->Add(shard_metric_ids_[s].rmws);
+    metrics_->Observe(rmw_us_id_, ElapsedUs(start));
+  }
   return status;
 }
 
 Status ShardedEngine::Scan(Key start_key, std::size_t count, std::vector<Record>* out,
                            IoStatsSnapshot* io, std::vector<IoStatsSnapshot>* shared_io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  out->clear();
-  std::vector<Record> part;
-  Key cursor = start_key;
-  // Shards are visited in increasing order and latched one at a time, so
-  // concurrent cross-shard scans cannot deadlock with each other or with
-  // point operations. The price is the relaxed cross-shard guarantee
-  // documented on the class: each per-shard segment is atomic, the stitched
-  // result is not a point-in-time snapshot of the whole engine.
-  for (std::size_t s = ShardFor(start_key); s < shards_.size() && out->size() < count; ++s) {
-    if (cursor < lower_bounds_[s]) cursor = lower_bounds_[s];
-    const Status status = ReadOnShard(s, io, shared_io, [&](DiskIndex* index) {
-      return index->Scan(cursor, count - out->size(), &part);
-    });
-    LIOD_RETURN_IF_ERROR(status);
-    out->insert(out->end(), part.begin(), part.end());
+  const std::size_t first = ShardFor(start_key);
+  const auto run = [&] {
+    out->clear();
+    std::vector<Record> part;
+    Key cursor = start_key;
+    // Shards are visited in increasing order and latched one at a time, so
+    // concurrent cross-shard scans cannot deadlock with each other or with
+    // point operations. The price is the relaxed cross-shard guarantee
+    // documented on the class: each per-shard segment is atomic, the stitched
+    // result is not a point-in-time snapshot of the whole engine.
+    for (std::size_t s = first; s < shards_.size() && out->size() < count; ++s) {
+      if (cursor < lower_bounds_[s]) cursor = lower_bounds_[s];
+      const Status status = ReadOnShard(s, io, shared_io, [&](DiskIndex* index) {
+        return index->Scan(cursor, count - out->size(), &part);
+      });
+      LIOD_RETURN_IF_ERROR(status);
+      out->insert(out->end(), part.begin(), part.end());
+    }
+    return Status::Ok();
+  };
+  if (metrics_ == nullptr && trace_ == nullptr) return run();
+  // One span for the whole stitched scan, tagged with the starting shard.
+  TraceRecorder::Scope span(trace_, "scan", "op", static_cast<int>(first));
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = run();
+  if (metrics_ != nullptr) {
+    metrics_->Add(shard_metric_ids_[first].scans);
+    metrics_->Observe(scan_us_id_, ElapsedUs(start));
   }
-  return Status::Ok();
+  return status;
 }
 
 Status ShardedEngine::DropCaches() {

@@ -208,7 +208,28 @@ class ShardedEngine {
   Status RunSharedLocked(std::size_t s, IoStatsSnapshot* io,
                          std::vector<IoStatsSnapshot>* shared_io, const Op& op);
 
+  /// Contended path of the shared/optimistic read modes: counts the wait
+  /// (IoStats + telemetry lock-wait counter/histogram/span) around the
+  /// blocking shared acquisition. The caller adopts the latch.
+  void BlockingSharedAcquire(std::size_t s, Shard& shard);
+
+  /// Caches the telemetry escape hatches from options_.index and registers
+  /// the engine's metrics (per-shard op/lock-wait counters, engine-level
+  /// latency histograms, per-shard buffer gauges). Called at the end of a
+  /// successful Bulkload, once the shard count is final.
+  void RegisterTelemetry();
+
   Status CheckReady() const;
+
+  /// Per-shard telemetry metric ids (shard_metric_ids_[s]), resolved once in
+  /// RegisterTelemetry so hot paths never touch the registry's name maps.
+  struct ShardMetricIds {
+    std::size_t lookups = 0;     ///< counter: shard<s>.ops.lookup
+    std::size_t inserts = 0;     ///< counter: shard<s>.ops.insert
+    std::size_t rmws = 0;        ///< counter: shard<s>.ops.rmw
+    std::size_t scans = 0;       ///< counter: shard<s>.ops.scan
+    std::size_t lock_waits = 0;  ///< counter: shard<s>.lock_waits
+  };
 
   EngineOptions options_;
   /// Cross-shard shared buffer manager (share_buffers_across_shards mode).
@@ -222,6 +243,20 @@ class ShardedEngine {
   std::unique_ptr<GroupCommitWindow> group_commit_;
   std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: stable latches
   std::vector<Key> lower_bounds_;
+
+  // --- telemetry (inactive when options_.index.metrics / .trace are null) --
+  MetricRegistry* metrics_ = nullptr;  ///< cached from options_.index.metrics
+  TraceRecorder* trace_ = nullptr;     ///< cached from options_.index.trace
+  std::vector<ShardMetricIds> shard_metric_ids_;
+  /// Engine-level latency histograms (whole op including shard latching).
+  std::size_t lookup_us_id_ = 0;     ///< engine.lookup_us
+  std::size_t insert_us_id_ = 0;     ///< engine.insert_us
+  std::size_t rmw_us_id_ = 0;        ///< engine.rmw_us
+  std::size_t scan_us_id_ = 0;       ///< engine.scan_us
+  std::size_t lock_wait_us_id_ = 0;  ///< engine.lock_wait_us
+  /// Per-shard buffer gauges (RegisterBufferGauges), unregistered in the
+  /// destructor before the shards -- and their IoStats -- are destroyed.
+  std::vector<std::string> gauge_names_;
 };
 
 }  // namespace liod

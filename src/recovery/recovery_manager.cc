@@ -9,6 +9,8 @@
 #include "core/index_factory.h"
 #include "recovery/checkpoint_manager.h"
 #include "recovery/wal_reader.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
 #include "updates/buffered_index.h"
 
 namespace liod {
@@ -24,6 +26,12 @@ Status RecoveryManager::Recover(DurableSlot* slot, const std::string& index_name
     return Status::InvalidArgument(
         "RecoveryManager: the crashed configuration must have durability != none");
   }
+
+  // Replay-progress telemetry (options.metrics / options.trace escape
+  // hatches): one "recovery.replay" span covers analysis + redo + rebuild,
+  // and the counters let an operator watching the sampler CSV see recovery
+  // advance.
+  TraceRecorder::Scope replay_span(options.trace, "recovery.replay", "recovery");
 
   // --- analysis: checkpoint, then the WAL's committed tail ------------------
   const auto analysis_start = std::chrono::steady_clock::now();
@@ -50,6 +58,15 @@ Status RecoveryManager::Recover(DurableSlot* slot, const std::string& index_name
   out->wal_blocks_read = replay.blocks_read;
   out->torn_tail = replay.torn_tail;
   out->max_lsn = std::max(checkpoint.lsn, replay.max_lsn);
+  if (options.metrics != nullptr) {
+    MetricRegistry& m = *options.metrics;
+    const std::string p = options.metrics_prefix;
+    m.Add(m.Counter(p + "recovery.runs"));
+    m.Add(m.Counter(p + "recovery.replayed_records"), replay.records.size());
+    m.Add(m.Counter(p + "recovery.checkpoint_entries"), checkpoint.entries.size());
+    m.Add(m.Counter(p + "recovery.wal_blocks_read"), replay.blocks_read);
+    if (replay.torn_tail) m.Add(m.Counter(p + "recovery.torn_tails"));
+  }
 
   // --- redo: checkpoint entries overlaid by the replayed tail (newest wins)
   std::map<Key, StagedUpdate> recovered;

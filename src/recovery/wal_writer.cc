@@ -1,6 +1,10 @@
 #include "recovery/wal_writer.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
 
 namespace liod {
 
@@ -38,13 +42,21 @@ std::uint64_t GroupCommitWindow::commits() const {
   return commits_;
 }
 
-WalWriter::WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group)
+WalWriter::WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group,
+                     const WalTelemetry& telemetry)
     : file_(file),
       policy_(policy),
       group_(group),
       records_per_block_(WalRecordsPerBlock(file->block_size())),
       tail_(file->block_size(), std::byte{0}),
-      epoch_start_(static_cast<BlockId>(file->allocated_blocks())) {
+      epoch_start_(static_cast<BlockId>(file->allocated_blocks())),
+      metrics_(telemetry.metrics),
+      trace_(telemetry.trace),
+      trace_shard_(telemetry.shard) {
+  if (metrics_ != nullptr) {
+    forces_id_ = metrics_->Counter(telemetry.prefix + "wal.forces");
+    force_us_id_ = metrics_->Histogram(telemetry.prefix + "wal.force_us");
+  }
   if (group_ != nullptr) group_->Register(this);
 }
 
@@ -56,9 +68,24 @@ WalWriter::~WalWriter() {
 
 Status WalWriter::SyncLocked() {
   if (unsynced_records_ == 0) return Status::Ok();
+  // Telemetry observes the force that actually happens (one tail-block device
+  // write); no-op forces above never reach this point, so the histogram is
+  // the latency of real commits, not of the early-out branch.
+  const bool timed = metrics_ != nullptr;
+  std::chrono::steady_clock::time_point start;
+  if (timed) start = std::chrono::steady_clock::now();
+  TraceRecorder::Scope span(trace_, "wal.force", "wal", trace_shard_);
   LIOD_RETURN_IF_ERROR(file_->WriteBlock(tail_block_, tail_.data()));
   unsynced_records_ = 0;
   ++sync_writes_;
+  if (timed) {
+    metrics_->Add(forces_id_);
+    metrics_->Observe(
+        force_us_id_,
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
   return Status::Ok();
 }
 

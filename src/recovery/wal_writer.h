@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/options.h"
@@ -14,6 +15,18 @@
 namespace liod {
 
 class WalWriter;
+
+/// Optional telemetry for one WalWriter (common/options.h escape hatches,
+/// threaded through by UpdateBufferedIndex). When `metrics` is set the
+/// writer registers `<prefix>wal.forces` (counter) and `<prefix>wal.force_us`
+/// (latency histogram of actual tail-block device forces); when `trace` is
+/// set each force records a "wal.force" span tagged with `shard`.
+struct WalTelemetry {
+  MetricRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+  std::string prefix;
+  int shard = -1;
+};
 
 /// Shared commit window: one counter of appended-but-unforced operations
 /// across any number of WalWriters. When the window fills, every registered
@@ -75,7 +88,8 @@ class WalWriter {
   /// the file's current high-water mark (fresh blocks), which makes resuming
   /// on a recovered-but-not-yet-truncated log safe. `group` may be null
   /// unless `policy` is kGroupCommit.
-  WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group);
+  WalWriter(PagedFile* file, DurabilityPolicy policy, GroupCommitWindow* group,
+            const WalTelemetry& telemetry = WalTelemetry());
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -138,6 +152,13 @@ class WalWriter {
   BlockId epoch_start_ = 0;
   std::uint64_t next_lsn_ = 1;
   std::uint64_t sync_writes_ = 0;
+
+  // --- telemetry (inactive when metrics/trace are null) --------------------
+  MetricRegistry* const metrics_;
+  TraceRecorder* const trace_;
+  const int trace_shard_;
+  std::size_t forces_id_ = 0;    ///< counter: <prefix>wal.forces
+  std::size_t force_us_id_ = 0;  ///< histogram: <prefix>wal.force_us
 };
 
 }  // namespace liod

@@ -104,8 +104,7 @@ std::string IoStatsSnapshot::ToString() const {
   return os.str();
 }
 
-thread_local const IoStats* IoStats::tally_target_ = nullptr;
-thread_local IoStatsSnapshot* IoStats::tally_sink_ = nullptr;
+thread_local IoStats::ThreadTally* IoStats::ThreadTally::top_ = nullptr;
 
 IoStatsSnapshot IoStats::snapshot() const {
   IoStatsSnapshot out;

@@ -105,27 +105,28 @@ class IoStats {
   /// cross-shard writeback under a shared buffer pool) are not tallied,
   /// matching the snapshot-delta semantics it replaces.
   ///
-  /// Nests: installing a tally saves the previous one and restores it on
-  /// destruction. Lock-contention counters (read_lock_waits,
+  /// Nests as a tee: the active tallies form a per-thread stack, and a bump
+  /// is added to EVERY frame whose target matches, so an outer tally (the
+  /// engine's per-op attribution) and an inner one (a PhaseScope inside the
+  /// op) both see it. Lock-contention counters (read_lock_waits,
   /// optimistic_retries) are never tallied -- they describe the lock, not
   /// the operation.
   class ThreadTally {
    public:
     ThreadTally(const IoStats* target, IoStatsSnapshot* sink)
-        : prev_target_(tally_target_), prev_sink_(tally_sink_) {
-      tally_target_ = target;
-      tally_sink_ = sink;
+        : target_(target), sink_(sink), prev_(top_) {
+      top_ = this;
     }
-    ~ThreadTally() {
-      tally_target_ = prev_target_;
-      tally_sink_ = prev_sink_;
-    }
+    ~ThreadTally() { top_ = prev_; }
     ThreadTally(const ThreadTally&) = delete;
     ThreadTally& operator=(const ThreadTally&) = delete;
 
    private:
-    const IoStats* prev_target_;
-    IoStatsSnapshot* prev_sink_;
+    friend class IoStats;
+    const IoStats* target_;
+    IoStatsSnapshot* sink_;
+    ThreadTally* prev_;
+    static thread_local ThreadTally* top_;
   };
 
   void CountRead(FileClass klass) { Bump(reads_, &IoStatsSnapshot::reads, klass); }
@@ -142,11 +143,15 @@ class IoStats {
   }
   void CountInnerNodeVisit() {
     inner_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    if (tally_target_ == this) ++tally_sink_->inner_nodes_visited;
+    for (ThreadTally* t = ThreadTally::top_; t != nullptr; t = t->prev_) {
+      if (t->target_ == this) ++t->sink_->inner_nodes_visited;
+    }
   }
   void CountLeafNodeVisit() {
     leaf_nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    if (tally_target_ == this) ++tally_sink_->leaf_nodes_visited;
+    for (ThreadTally* t = ThreadTally::top_; t != nullptr; t = t->prev_) {
+      if (t->target_ == this) ++t->sink_->leaf_nodes_visited;
+    }
   }
   /// Engine read path, shared/optimistic modes only (see IoStatsSnapshot).
   void CountReadLockWait() { read_lock_waits_.fetch_add(1, std::memory_order_relaxed); }
@@ -164,11 +169,10 @@ class IoStats {
   void Bump(Counters& counters, SnapshotCounters IoStatsSnapshot::* field,
             FileClass klass) {
     counters[static_cast<int>(klass)].fetch_add(1, std::memory_order_relaxed);
-    if (tally_target_ == this) ++(tally_sink_->*field)[static_cast<int>(klass)];
+    for (ThreadTally* t = ThreadTally::top_; t != nullptr; t = t->prev_) {
+      if (t->target_ == this) ++(t->sink_->*field)[static_cast<int>(klass)];
+    }
   }
-
-  static thread_local const IoStats* tally_target_;
-  static thread_local IoStatsSnapshot* tally_sink_;
 
   Counters reads_{};
   Counters writes_{};

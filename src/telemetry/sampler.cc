@@ -1,0 +1,136 @@
+#include "telemetry/sampler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "telemetry/metric_registry.h"
+
+namespace liod {
+
+namespace {
+
+void AppendCsvDouble(std::string* out, double value) {
+  // Non-finite values are written verbatim so validate_metrics.py fails the
+  // run instead of a silent zero masking a broken gauge.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(const MetricRegistry* registry,
+                                   const std::string& csv_path,
+                                   std::chrono::milliseconds interval)
+    : registry_(registry),
+      interval_(std::max(interval, std::chrono::milliseconds(1))),
+      start_(std::chrono::steady_clock::now()),
+      out_(csv_path, std::ios::trunc) {
+  if (!out_) {
+    first_error_ = Status::IoError("sampler: cannot open " + csv_path);
+    stopped_ = true;
+    return;
+  }
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  std::string header = "ts_ms";
+  columns_.clear();
+  for (const auto& [name, value] : snapshot.counters) {
+    (void)value;
+    columns_.push_back("c:" + name);
+    header += ',' + name;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    (void)value;
+    columns_.push_back("g:" + name);
+    header += ',' + name;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    (void)hist;
+    columns_.push_back("h:" + name);
+    header += ',' + name + ".count," + name + ".p50_us," + name + ".p99_us";
+  }
+  out_ << header << '\n';
+  thread_ = std::thread([this] { Loop(); });
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    AppendRow(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()));
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::AppendRow(std::uint64_t ts_ms) {
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  std::string row = std::to_string(ts_ms);
+  for (const std::string& column : columns_) {
+    const std::string name = column.substr(2);
+    row.push_back(',');
+    switch (column[0]) {
+      case 'c': {
+        const auto it = snapshot.counters.find(name);
+        row += std::to_string(it != snapshot.counters.end() ? it->second : 0);
+        break;
+      }
+      case 'g': {
+        const auto it = snapshot.gauges.find(name);
+        AppendCsvDouble(&row, it != snapshot.gauges.end() ? it->second : 0.0);
+        break;
+      }
+      default: {
+        const auto it = snapshot.histograms.find(name);
+        const HistogramSnapshot hist =
+            it != snapshot.histograms.end() ? it->second : HistogramSnapshot{};
+        row += std::to_string(hist.count);
+        row.push_back(',');
+        AppendCsvDouble(&row, hist.Quantile(0.50));
+        row.push_back(',');
+        AppendCsvDouble(&row, hist.Quantile(0.99));
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << row << '\n';
+  if (!out_ && first_error_.ok()) {
+    first_error_ = Status::IoError("sampler: write failed");
+  }
+  ++rows_written_;
+}
+
+std::uint64_t TelemetrySampler::rows_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_written_;
+}
+
+Status TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return first_error_;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final row: a run shorter than the interval still leaves one data point.
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  AppendRow(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()));
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  out_.flush();
+  if (!out_ && first_error_.ok()) {
+    first_error_ = Status::IoError("sampler: flush failed");
+  }
+  out_.close();
+  return first_error_;
+}
+
+}  // namespace liod

@@ -1,0 +1,68 @@
+#ifndef LIOD_TELEMETRY_SAMPLER_H_
+#define LIOD_TELEMETRY_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace liod {
+
+class MetricRegistry;
+
+/// Background thread that snapshots a MetricRegistry at a fixed interval and
+/// appends one CSV row per snapshot -- the time-series view for long runs
+/// that a single end-of-run metrics.json cannot give.
+///
+/// The column set is frozen at construction from the registry's contents
+/// (`ts_ms`, every counter and gauge by name, and `<hist>.count` /
+/// `<hist>.p50_us` / `<hist>.p99_us` per histogram), so every row has the
+/// same shape and the file is trivially loadable; metrics registered after
+/// the sampler starts are not sampled. Construct it only after all
+/// registration is done (post-bulkload in the CLI).
+///
+/// Stop() (or destruction) joins the thread and writes one final row, so
+/// even a run shorter than the interval produces at least one sample.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(const MetricRegistry* registry, const std::string& csv_path,
+                   std::chrono::milliseconds interval);
+  ~TelemetrySampler();
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Idempotent; returns the first write/open error the sampler hit.
+  Status Stop();
+
+  std::uint64_t rows_written() const;
+
+ private:
+  void Loop();
+  void AppendRow(std::uint64_t ts_ms);
+
+  const MetricRegistry* const registry_;
+  const std::chrono::milliseconds interval_;
+  const std::chrono::steady_clock::time_point start_;
+
+  std::ofstream out_;
+  std::vector<std::string> columns_;  ///< frozen at construction
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::uint64_t rows_written_ = 0;
+  Status first_error_;
+
+  std::thread thread_;  ///< last member: starts after everything above exists
+};
+
+}  // namespace liod
+
+#endif  // LIOD_TELEMETRY_SAMPLER_H_

@@ -1,0 +1,148 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace liod {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_recorder_uid{1};
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendQuoted(std::string* out, const char* text) {
+  out->push_back('"');
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c == '"' || *c == '\\') out->push_back('\\');
+    out->push_back(*c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : uid_(g_next_recorder_uid.fetch_add(1, std::memory_order_relaxed)),
+      capacity_per_thread_(std::max<std::size_t>(1, capacity_per_thread)),
+      origin_ns_(SteadyNowNs()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::NowUs() const {
+  return (SteadyNowNs() - origin_ns_) / 1000;
+}
+
+TraceRecorder::Slab* TraceRecorder::LocalSlab() const {
+  static thread_local std::vector<std::pair<std::uint64_t, Slab*>> cache;
+  for (const auto& [uid, slab] : cache) {
+    if (uid == uid_) return slab;
+  }
+  auto owned = std::make_unique<Slab>();
+  Slab* slab = owned.get();
+  slab->ring.resize(capacity_per_thread_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slab->tid = static_cast<std::uint32_t>(slabs_.size());
+    slabs_.push_back(std::move(owned));
+  }
+  cache.emplace_back(uid_, slab);
+  return slab;
+}
+
+void TraceRecorder::Record(const char* name, const char* category, int shard,
+                           std::uint64_t start_us, std::uint64_t end_us) {
+  Slab* slab = LocalSlab();
+  std::lock_guard<std::mutex> lock(slab->mu);
+  Span& span = slab->ring[slab->next];
+  span.name = name;
+  span.category = category;
+  span.shard = shard;
+  span.start_us = start_us;
+  span.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  slab->next = (slab->next + 1) % capacity_per_thread_;
+  ++slab->total;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slab : slabs_) {
+    std::lock_guard<std::mutex> slab_lock(slab->mu);
+    total += slab->total;
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t overwritten = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slab : slabs_) {
+    std::lock_guard<std::mutex> slab_lock(slab->mu);
+    if (slab->total > capacity_per_thread_) {
+      overwritten += slab->total - capacity_per_thread_;
+    }
+  }
+  return overwritten;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  struct Exported {
+    Span span;
+    std::uint32_t tid;
+  };
+  std::vector<Exported> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slab : slabs_) {
+      std::lock_guard<std::mutex> slab_lock(slab->mu);
+      const std::size_t kept = static_cast<std::size_t>(
+          std::min<std::uint64_t>(slab->total, capacity_per_thread_));
+      // The ring's oldest surviving span sits at `next` once it has wrapped.
+      const std::size_t oldest =
+          slab->total > capacity_per_thread_ ? slab->next : 0;
+      for (std::size_t i = 0; i < kept; ++i) {
+        events.push_back(
+            {slab->ring[(oldest + i) % capacity_per_thread_], slab->tid});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Exported& a, const Exported& b) {
+              return a.span.start_us < b.span.start_us;
+            });
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  for (const Exported& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendQuoted(&out, event.span.name);
+    out.append(",\"cat\":");
+    AppendQuoted(&out, event.span.category);
+    out.append(",\"ph\":\"X\",\"pid\":0,\"tid\":");
+    out.append(std::to_string(event.tid));
+    out.append(",\"ts\":");
+    out.append(std::to_string(event.span.start_us));
+    out.append(",\"dur\":");
+    out.append(std::to_string(event.span.dur_us));
+    if (event.span.shard >= 0) {
+      out.append(",\"args\":{\"shard\":");
+      out.append(std::to_string(event.span.shard));
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+}  // namespace liod

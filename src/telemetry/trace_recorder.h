@@ -1,0 +1,102 @@
+#ifndef LIOD_TELEMETRY_TRACE_RECORDER_H_
+#define LIOD_TELEMETRY_TRACE_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace liod {
+
+/// Bounded ring buffer of timed spans, exportable as Chrome trace-event JSON
+/// (chrome://tracing and https://ui.perfetto.dev both load it directly).
+///
+/// Each thread records into its own fixed-capacity ring under an uncontended
+/// mutex, so tracing never serializes the hot path and memory stays bounded
+/// on arbitrarily long runs: once a ring is full the oldest spans are
+/// overwritten (dropped() reports how many). Span names and categories must
+/// be string literals (or otherwise outlive the recorder) -- the ring stores
+/// the pointers, not copies, to keep Record() allocation-free.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity_per_thread = 8192);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since recorder construction (steady clock).
+  std::uint64_t NowUs() const;
+
+  /// Records a completed span. `shard` < 0 means "not shard-scoped".
+  void Record(const char* name, const char* category, int shard,
+              std::uint64_t start_us, std::uint64_t end_us);
+
+  std::uint64_t recorded() const;  ///< total spans ever recorded
+  std::uint64_t dropped() const;   ///< spans overwritten by ring wraparound
+
+  /// `{"traceEvents":[...],"displayTimeUnit":"ms"}` with complete ("ph":"X")
+  /// events sorted by start time; tid is the recording thread's arrival
+  /// order, shard-scoped spans carry {"args":{"shard":N}}.
+  std::string ToChromeTraceJson() const;
+
+  /// RAII span: times construction-to-destruction and records on exit.
+  /// A null recorder makes it a no-op that never touches the clock, so call
+  /// sites stay branch-free: `TraceRecorder::Scope s(trace_, "lookup", "op");`
+  class Scope {
+   public:
+    Scope(TraceRecorder* recorder, const char* name, const char* category,
+          int shard = -1)
+        : recorder_(recorder),
+          name_(name),
+          category_(category),
+          shard_(shard),
+          start_us_(recorder != nullptr ? recorder->NowUs() : 0) {}
+    ~Scope() {
+      if (recorder_ != nullptr) {
+        recorder_->Record(name_, category_, shard_, start_us_, recorder_->NowUs());
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TraceRecorder* recorder_;
+    const char* name_;
+    const char* category_;
+    int shard_;
+    std::uint64_t start_us_;
+  };
+
+ private:
+  struct Span {
+    const char* name;
+    const char* category;
+    std::int32_t shard;
+    std::uint64_t start_us;
+    std::uint64_t dur_us;
+  };
+
+  struct Slab {
+    std::mutex mu;
+    std::vector<Span> ring;
+    std::size_t next = 0;        ///< ring[next % capacity] is written next
+    std::uint64_t total = 0;     ///< spans ever recorded into this slab
+    std::uint32_t tid = 0;       ///< stable per-thread id for the export
+  };
+
+  Slab* LocalSlab() const;
+
+  const std::uint64_t uid_;  ///< never reused; keys the thread-local cache
+  const std::size_t capacity_per_thread_;
+  const std::uint64_t origin_ns_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<Slab>> slabs_;
+};
+
+}  // namespace liod
+
+#endif  // LIOD_TELEMETRY_TRACE_RECORDER_H_

@@ -1,6 +1,10 @@
 #include "updates/buffered_index.h"
 
 #include <algorithm>
+#include <cctype>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
 
 namespace liod {
 
@@ -13,6 +17,22 @@ namespace {
 IndexOptions WithBaseManager(IndexOptions options, DiskIndex* base) {
   options.shared_buffer_manager = &base->buffer_manager();
   return options;
+}
+
+/// "shard<N>." (the engine's per-shard metrics_prefix convention) -> N;
+/// any other prefix -> -1 (spans stay unscoped).
+int ShardFromPrefix(const std::string& prefix) {
+  const std::string kShard = "shard";
+  if (prefix.size() < kShard.size() + 2 || prefix.compare(0, kShard.size(), kShard) != 0 ||
+      prefix.back() != '.') {
+    return -1;
+  }
+  int shard = 0;
+  for (std::size_t i = kShard.size(); i + 1 < prefix.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(prefix[i]))) return -1;
+    shard = shard * 10 + (prefix[i] - '0');
+  }
+  return shard;
 }
 
 }  // namespace
@@ -51,9 +71,40 @@ UpdateBufferedIndex::UpdateBufferedIndex(const IndexOptions& options,
       owned_group_ = std::make_unique<GroupCommitWindow>(options.wal_group_window);
       group = owned_group_.get();
     }
-    wal_ = std::make_unique<WalWriter>(wal_file_.get(), options.durability, group);
+    WalTelemetry wal_telemetry;
+    wal_telemetry.metrics = options.metrics;
+    wal_telemetry.trace = options.trace;
+    wal_telemetry.prefix = options.metrics_prefix;
+    wal_telemetry.shard = ShardFromPrefix(options.metrics_prefix);
+    wal_ = std::make_unique<WalWriter>(wal_file_.get(), options.durability, group,
+                                       wal_telemetry);
     checkpoint_ = std::make_unique<CheckpointManager>(checkpoint_file_.get());
     base_->SetWriteAheadHook([this] { return wal_->Sync(); });
+  }
+
+  if (options.metrics != nullptr || options.trace != nullptr) {
+    trace_shard_ = ShardFromPrefix(options.metrics_prefix);
+  }
+  if (options.metrics != nullptr) {
+    MetricRegistry* registry = options.metrics;
+    const std::string& prefix = options.metrics_prefix;
+    merges_counter_id_ = registry->Counter(prefix + "updates.merges");
+    if (wal_ != nullptr) {
+      checkpoints_counter_id_ = registry->Counter(prefix + "checkpoints");
+    }
+    // Gauges sample the decorator's live staging/overlay/spill state; the
+    // callbacks take the same shared lock as the public introspection
+    // methods, so a snapshot may briefly wait out a merge but never races.
+    const auto gauge = [&](const char* suffix, std::function<double()> fn) {
+      std::string name = prefix + suffix;
+      registry->RegisterGauge(name, std::move(fn));
+      gauge_names_.push_back(std::move(name));
+    };
+    gauge("updates.staged_records",
+          [this] { return static_cast<double>(staged_records()); });
+    gauge("updates.overlay_records",
+          [this] { return static_cast<double>(overlay_records()); });
+    gauge("updates.spills", [this] { return static_cast<double>(total_spills()); });
   }
 
   if (options.update_buffer_merge_mode == MergeMode::kBackground) {
@@ -75,6 +126,12 @@ UpdateBufferedIndex::UpdateBufferedIndex(const IndexOptions& options,
 
 UpdateBufferedIndex::~UpdateBufferedIndex() {
   scheduler_.reset();  // join the merge thread before tearing down the buffer
+  // Gauges capture `this`; pull them before any member dies. A sampler may
+  // still be mid-snapshot -- UnregisterGauge serializes on the registry
+  // mutex, so after this loop no callback can run.
+  for (const std::string& name : gauge_names_) {
+    options_.metrics->UnregisterGauge(name);
+  }
   // Detach the WAL hook before the writer dies: the base's own teardown may
   // still flush dirty frames (destruction is indistinguishable from a crash;
   // clean shutdowns reach durability through FlushUpdates' checkpoint).
@@ -163,12 +220,14 @@ Status UpdateBufferedIndex::LogLocked(WalRecordType type, Key key, Payload paylo
 
 Status UpdateBufferedIndex::CheckpointLocked() {
   if (wal_ == nullptr) return Status::Ok();
+  TraceRecorder::Scope span(options_.trace, "checkpoint", "recovery", trace_shard_);
   LIOD_RETURN_IF_ERROR(wal_->Sync());          // WAL before ...
   LIOD_RETURN_IF_ERROR(base_->FlushBuffers()); // ... the data pages it covers
   const BlockId epoch_start = wal_->NextEpochStart();
   LIOD_RETURN_IF_ERROR(checkpoint_->Write(wal_->last_lsn(), epoch_start));
   LIOD_RETURN_IF_ERROR(wal_->BeginEpoch(epoch_start));
   ops_since_checkpoint_ = 0;
+  if (options_.metrics != nullptr) options_.metrics->Add(checkpoints_counter_id_);
   return Status::Ok();
 }
 
@@ -202,6 +261,9 @@ Status UpdateBufferedIndex::Delete(Key key) {
 
 Status UpdateBufferedIndex::MergeLocked() {
   if (buffer_->empty()) return Status::Ok();
+  // The span covers the whole drain (WAL force + base inserts + clear); on
+  // the background scheduler's thread it shows up on its own trace track.
+  TraceRecorder::Scope span(options_.trace, "merge.drain", "updates", trace_shard_);
   // WAL-before-data also for the merge's base writes: every record covering
   // the entries about to reach the base structure is on the device first.
   if (wal_ != nullptr) LIOD_RETURN_IF_ERROR(wal_->Sync());
@@ -225,6 +287,7 @@ Status UpdateBufferedIndex::MergeLocked() {
   }
   buffer_->Clear();
   ++merges_;
+  if (options_.metrics != nullptr) options_.metrics->Add(merges_counter_id_);
   return Status::Ok();
 }
 

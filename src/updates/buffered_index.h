@@ -185,6 +185,17 @@ class UpdateBufferedIndex : public DiskIndex {
 
   std::unique_ptr<MergeScheduler> scheduler_;  // kBackground mode only
   mutable std::shared_mutex mu_;
+
+  // --- telemetry (inactive when options.metrics / options.trace are null) --
+  /// Gauges registered in the constructor (staging depth, overlay size,
+  /// spill total), unregistered in the destructor; the registry must outlive
+  /// the index (common/options.h contract).
+  std::vector<std::string> gauge_names_;
+  std::size_t merges_counter_id_ = 0;       ///< <prefix>updates.merges
+  std::size_t checkpoints_counter_id_ = 0;  ///< <prefix>checkpoints
+  /// Shard number parsed from metrics_prefix ("shard3." -> 3; -1 otherwise),
+  /// tagging merge/checkpoint/WAL spans with their shard in the trace.
+  int trace_shard_ = -1;
 };
 
 }  // namespace liod

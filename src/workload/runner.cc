@@ -1,8 +1,12 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
 
 namespace liod {
 
@@ -12,6 +16,19 @@ double ElapsedUs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
       .count();
 }
+
+/// Dense per-kind index for the runner's telemetry tables.
+constexpr std::size_t KindIndex(WorkloadOp::Kind kind) {
+  switch (kind) {
+    case WorkloadOp::Kind::kLookup: return 0;
+    case WorkloadOp::Kind::kInsert: return 1;
+    case WorkloadOp::Kind::kScan: return 2;
+    case WorkloadOp::Kind::kReadModifyWrite: return 3;
+  }
+  return 0;
+}
+
+constexpr std::array<const char*, 4> kSpanNames = {"lookup", "insert", "scan", "rmw"};
 }  // namespace
 
 double RunResult::SampleLatencyUs(const OpSample& s, const DiskModel& model) {
@@ -61,16 +78,32 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
 
   // --- measured op phase -----------------------------------------------------
   if (config.record_samples) result->samples.reserve(workload.ops.size());
+  // Telemetry: resolve metric ids once so the loop only does array lookups.
+  // Timing is shared with sampling -- one clock pair per op serves both.
+  std::array<std::size_t, 4> op_counter_ids{};
+  std::array<std::size_t, 4> op_hist_ids{};
+  if (config.metrics != nullptr) {
+    op_counter_ids = {config.metrics->Counter("ops.lookup"),
+                      config.metrics->Counter("ops.insert"),
+                      config.metrics->Counter("ops.scan"),
+                      config.metrics->Counter("ops.rmw")};
+    op_hist_ids = {config.metrics->Histogram("op.lookup_us"),
+                   config.metrics->Histogram("op.insert_us"),
+                   config.metrics->Histogram("op.scan_us"),
+                   config.metrics->Histogram("op.rmw_us")};
+  }
+  const bool time_ops = config.record_samples || config.metrics != nullptr;
+  if (config.before_ops) config.before_ops();
   const IoStatsSnapshot before_ops = index->io_stats().snapshot();
   const auto ops_start = std::chrono::steady_clock::now();
   std::vector<Record> scan_out;
   IoStatsSnapshot op_before;
   for (const WorkloadOp& op : workload.ops) {
+    const std::size_t kind = KindIndex(op.kind);
+    TraceRecorder::Scope span(config.trace, kSpanNames[kind], "op");
     std::chrono::steady_clock::time_point op_start;
-    if (config.record_samples) {
-      op_before = index->io_stats().snapshot();
-      op_start = std::chrono::steady_clock::now();
-    }
+    if (config.record_samples) op_before = index->io_stats().snapshot();
+    if (time_ops) op_start = std::chrono::steady_clock::now();
     switch (op.kind) {
       case WorkloadOp::Kind::kLookup: {
         Payload payload = 0;
@@ -98,13 +131,22 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
         break;
       }
     }
+    double op_us = 0.0;
+    if (time_ops) op_us = ElapsedUs(op_start);
     if (config.record_samples) {
       const IoStatsSnapshot delta = index->io_stats().snapshot() - op_before;
       OpSample sample;
-      sample.cpu_us = static_cast<float>(ElapsedUs(op_start));
+      sample.cpu_us = static_cast<float>(op_us);
       sample.reads = static_cast<std::uint32_t>(delta.TotalReads());
       sample.writes = static_cast<std::uint32_t>(delta.TotalWrites());
       result->samples.push_back(sample);
+    }
+    if (config.metrics != nullptr) {
+      config.metrics->Add(op_counter_ids[kind]);
+      config.metrics->Observe(op_hist_ids[kind], op_us);
+    }
+    if (config.progress != nullptr) {
+      config.progress->fetch_add(1, std::memory_order_relaxed);
     }
   }
   result->cpu_us = ElapsedUs(ops_start);

@@ -1,7 +1,9 @@
 #ifndef LIOD_WORKLOAD_RUNNER_H_
 #define LIOD_WORKLOAD_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -54,6 +56,22 @@ struct RunnerConfig {
   bool record_samples = false;  ///< keep per-op samples (tail-latency study)
   bool drop_caches_after_bulkload = true;
   bool check_lookups = false;  ///< verify lookups of inserted keys succeed
+
+  // --- telemetry (all non-owning; null = off, zero overhead) ---------------
+  /// Registers per-op-kind counters (ops.lookup/insert/scan/rmw) and wall
+  /// latency histograms (op.lookup_us etc.) and feeds them during the
+  /// measured phase. Must outlive the call.
+  MetricRegistry* metrics = nullptr;
+  /// Records one span per operation ("lookup"/"insert"/"scan"/"rmw",
+  /// category "op"). Must outlive the call.
+  TraceRecorder* trace = nullptr;
+  /// Bumped once per completed operation (relaxed); a progress-reporting
+  /// thread may read it concurrently. Must outlive the call.
+  std::atomic<std::uint64_t>* progress = nullptr;
+  /// Invoked once after bulkload + cache drop + metric registration,
+  /// immediately before the measured loop -- the point where a periodic
+  /// sampler sees every metric name, and a progress thread can start.
+  std::function<void()> before_ops;
 };
 
 /// Bulkloads `workload.bulk` into the index, then executes the op tape.

@@ -37,16 +37,25 @@
 // single-index sequential path and its exact output format.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/index_factory.h"
 #include "engine/concurrent_runner.h"
 #include "engine/sharded_engine.h"
 #include "recovery/durable_store.h"
 #include "recovery/recovery_manager.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace_recorder.h"
 #include "updates/buffered_index.h"
 #include "workload/datasets.h"
 #include "workload/runner.h"
@@ -82,6 +91,13 @@ struct CliArgs {
   std::string disk = "both";
   bool csv = false;
   bool inner_in_memory = false;
+
+  // --- telemetry (all off by default; see src/telemetry/) ------------------
+  std::string metrics_out;          ///< --metrics-out: final registry JSON
+  std::string trace_out;            ///< --trace-out: Chrome trace-event JSON
+  std::string sample_out;           ///< --sample-out: periodic time-series CSV
+  std::size_t sample_every_ms = 0;  ///< --sample-every-ms (0 = 100 when sampling)
+  bool progress = false;            ///< --progress: stderr heartbeat
 };
 
 void Usage() {
@@ -104,7 +120,11 @@ void Usage() {
       "           --merge-threshold F (fraction of staging capacity; > 1 spills runs)\n"
       "           --durability none|async|group-commit|sync-per-op (WAL for the\n"
       "             buffered write path) --group-window OPS --checkpoint-every OPS\n"
-      "           --recover (sequential mode: crash + rebuild demonstration)\n");
+      "           --recover (sequential mode: crash + rebuild demonstration)\n"
+      "           --metrics-out FILE (final metric-registry JSON)\n"
+      "           --trace-out FILE (Chrome trace-event JSON; load in Perfetto)\n"
+      "           --sample-out FILE --sample-every-ms N (periodic metrics CSV)\n"
+      "           --progress (stderr heartbeat; --csv stdout stays clean)\n");
 }
 
 bool Parse(int argc, char** argv, CliArgs* args) {
@@ -121,6 +141,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->write_back = true;
     } else if (a == "--recover") {
       args->recover = true;
+    } else if (a == "--progress") {
+      args->progress = true;
     } else if ((v = next()) == nullptr) {
       std::fprintf(stderr, "missing value for %s\n", a.c_str());
       return false;
@@ -168,6 +190,14 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->zipf_theta = std::strtod(v, nullptr);
     } else if (a == "--disk") {
       args->disk = v;
+    } else if (a == "--metrics-out") {
+      args->metrics_out = v;
+    } else if (a == "--trace-out") {
+      args->trace_out = v;
+    } else if (a == "--sample-out") {
+      args->sample_out = v;
+    } else if (a == "--sample-every-ms") {
+      args->sample_every_ms = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -175,6 +205,11 @@ bool Parse(int argc, char** argv, CliArgs* args) {
   }
   if (args->threads == 0) args->threads = 1;
   if (args->shards == 0) args->shards = 1;
+  if (!args->sample_out.empty() && args->sample_every_ms == 0) args->sample_every_ms = 100;
+  if (args->sample_every_ms > 0 && args->sample_out.empty()) {
+    std::fprintf(stderr, "--sample-every-ms requires --sample-out FILE\n");
+    return false;
+  }
   return true;
 }
 
@@ -183,6 +218,137 @@ std::vector<DiskModel> ParseDisks(const std::string& name) {
   if (name == "hdd" || name == "both") disks.push_back(DiskModel::Hdd());
   if (name == "ssd" || name == "both") disks.push_back(DiskModel::Ssd());
   return disks;
+}
+
+/// --progress: a once-per-second heartbeat on STDERR (stdout stays parseable
+/// under --csv). Reads the runner's relaxed op counter plus an index-specific
+/// detail line (staged updates, checkpoints, last WAL LSN) supplied by the
+/// caller.
+class ProgressReporter {
+ public:
+  ProgressReporter(const std::atomic<std::uint64_t>* ops,
+                   std::function<std::string()> detail)
+      : ops_(ops),
+        detail_(std::move(detail)),
+        start_(std::chrono::steady_clock::now()),
+        thread_([this] { Loop(); }) {}
+
+  ~ProgressReporter() { Stop(); }
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Print();  // final line so short runs still report once
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      cv_.wait_for(lock, std::chrono::seconds(1));
+      if (stopped_) break;
+      lock.unlock();
+      Print();
+      lock.lock();
+    }
+  }
+
+  void Print() {
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                      start_)
+                            .count();
+    const std::uint64_t done = ops_->load(std::memory_order_relaxed);
+    const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+    const std::string detail = detail_ ? detail_() : std::string();
+    std::fprintf(stderr, "progress: %llu ops (%.0f ops/s)%s\n",
+                 static_cast<unsigned long long>(done), rate, detail.c_str());
+  }
+
+  const std::atomic<std::uint64_t>* const ops_;
+  const std::function<std::string()> detail_;
+  const std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;  // last member: runs Loop against the fields above
+};
+
+/// One durable decorator's heartbeat detail (", staged=.. ckpts=.. wal_lsn=..");
+/// empty for plain in-place indexes.
+std::string BufferedDetail(const UpdateBufferedIndex* durable) {
+  if (durable == nullptr) return std::string();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", staged=%zu, ckpts=%llu, wal_lsn=%llu",
+                durable->staged_records(),
+                static_cast<unsigned long long>(durable->checkpoints_written()),
+                static_cast<unsigned long long>(durable->wal_last_lsn()));
+  return std::string(buf);
+}
+
+/// The CLI-owned telemetry objects. The registry/trace outlive the index and
+/// engine (both reference them); the sampler is constructed by the runner's
+/// before_ops hook so its frozen CSV columns include every metric the run
+/// registers.
+struct TelemetryContext {
+  std::unique_ptr<MetricRegistry> metrics;
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<TelemetrySampler> sampler;
+};
+
+bool WriteFileOrComplain(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Stops the sampler and writes --metrics-out / --trace-out. Must run while
+/// the index/engine is still alive: the registry's gauges read their IoStats.
+int FinishTelemetry(const CliArgs& args, TelemetryContext* telemetry) {
+  int rc = 0;
+  if (telemetry->sampler != nullptr) {
+    const Status status = telemetry->sampler->Stop();
+    if (!status.ok()) {
+      std::fprintf(stderr, "telemetry sampler failed: %s\n", status.ToString().c_str());
+      rc = 1;
+    }
+    telemetry->sampler.reset();
+  }
+  if (!args.metrics_out.empty() && telemetry->metrics != nullptr) {
+    if (!WriteFileOrComplain(args.metrics_out, telemetry->metrics->ToJson())) rc = 1;
+  }
+  if (!args.trace_out.empty() && telemetry->trace != nullptr) {
+    if (!WriteFileOrComplain(args.trace_out, telemetry->trace->ToChromeTraceJson())) rc = 1;
+  }
+  return rc;
+}
+
+/// before_ops hook body shared by both modes: start the periodic sampler
+/// (every metric is registered by now) and the --progress heartbeat.
+void StartMeasuredPhaseTelemetry(const CliArgs& args, TelemetryContext* telemetry,
+                                 std::unique_ptr<ProgressReporter>* reporter,
+                                 const std::atomic<std::uint64_t>* ops,
+                                 std::function<std::string()> detail) {
+  if (!args.sample_out.empty() && telemetry->metrics != nullptr) {
+    telemetry->sampler = std::make_unique<TelemetrySampler>(
+        telemetry->metrics.get(), args.sample_out,
+        std::chrono::milliseconds(args.sample_every_ms));
+  }
+  if (args.progress) {
+    *reporter = std::make_unique<ProgressReporter>(ops, std::move(detail));
+  }
 }
 
 /// --recover demonstration: after the measured (and fully flushed) run,
@@ -254,7 +420,7 @@ int RunRecoveryDemo(const CliArgs& args, const IndexOptions& options, DurableSlo
 /// Classic path: one single-threaded index, the sequential runner, and the
 /// original output format.
 int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<Key>& keys,
-                  const WorkloadSpec& spec) {
+                  const WorkloadSpec& spec, TelemetryContext* telemetry) {
   // An external slot keeps the WAL/checkpoint devices alive across the
   // --recover demo's simulated crash; without --recover it is equivalent to
   // the decorator's private slot.
@@ -268,14 +434,38 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
   }
   const Workload w = BuildWorkload(keys, spec);
 
+  // Sequential mode has no engine to register buffer gauges, so the CLI does
+  // it (unprefixed: one index, one namespace). Unregistered after the final
+  // snapshot, before the index -- whose IoStats they read -- is destroyed.
+  std::vector<std::string> gauge_names;
+  if (telemetry->metrics != nullptr) {
+    gauge_names = RegisterBufferGauges(telemetry->metrics.get(), "", &index->io_stats());
+  }
+
+  std::atomic<std::uint64_t> ops_done{0};
+  std::unique_ptr<ProgressReporter> reporter;
   RunnerConfig config;
   config.record_samples = true;
+  config.metrics = telemetry->metrics.get();
+  config.trace = telemetry->trace.get();
+  config.progress = &ops_done;
+  config.before_ops = [&] {
+    auto* durable = dynamic_cast<UpdateBufferedIndex*>(index.get());
+    StartMeasuredPhaseTelemetry(args, telemetry, &reporter, &ops_done,
+                                [durable] { return BufferedDetail(durable); });
+  };
   RunResult result;
   const Status status = RunWorkload(index.get(), w, config, &result);
+  reporter.reset();  // stop the heartbeat before any other output
+  const int telemetry_rc = FinishTelemetry(args, telemetry);
+  if (telemetry->metrics != nullptr) {
+    for (const std::string& name : gauge_names) telemetry->metrics->UnregisterGauge(name);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (telemetry_rc != 0) return telemetry_rc;
 
   const std::vector<DiskModel> disks = ParseDisks(args.disk);
   if (disks.empty()) {
@@ -290,11 +480,11 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
     std::printf(
         "index,dataset,workload,disk,ops,tput_ops_s,reads_per_op,writes_per_op,"
         "p99_us,stddev_us,disk_mib,invalid_mib,height,smos,"
-        "hit_inner,hit_leaf,hit_overall,durability,wal_writes\n");
+        "hit_inner,hit_leaf,hit_overall,durability,wal_writes,p50_us,p999_us\n");
     for (const DiskModel& disk : disks) {
       std::printf(
           "%s,%s,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.1f,%.2f,%.2f,%llu,%llu,"
-          "%.3f,%.3f,%.3f,%s,%llu\n",
+          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
           disk.name.c_str(), static_cast<unsigned long long>(result.operations),
           result.ThroughputOps(disk),
@@ -307,7 +497,8 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
           result.io.HitRateFor(FileClass::kInner),
           result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate(),
           DurabilityPolicyName(options.durability),
-          static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)));
+          static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)),
+          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk));
     }
     if (args.recover) return RunRecoveryDemo(args, options, &slot, std::move(index), w);
     return 0;
@@ -352,7 +543,8 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
 
 /// Engine path: key-range shards + concurrent client threads.
 int RunEngine(const CliArgs& args, const IndexOptions& options,
-              const std::vector<Key>& keys, const WorkloadSpec& spec) {
+              const std::vector<Key>& keys, const WorkloadSpec& spec,
+              TelemetryContext* telemetry) {
   EngineOptions engine_options;
   engine_options.index_name = args.index;
   engine_options.num_shards = args.shards;
@@ -367,14 +559,45 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
 
   const ConcurrentWorkload w = BuildConcurrentWorkload(keys, spec, args.threads);
 
+  std::atomic<std::uint64_t> ops_done{0};
+  std::unique_ptr<ProgressReporter> reporter;
   ConcurrentRunnerConfig config;
   config.record_samples = true;
+  config.progress = &ops_done;
+  config.before_ops = [&] {
+    // Heartbeat detail sums the durable decorators across shards (their
+    // introspection methods latch internally, so reading them concurrently
+    // with the measured phase is safe).
+    auto detail = [&engine]() -> std::string {
+      std::size_t staged = 0;
+      std::uint64_t ckpts = 0, last_lsn = 0;
+      bool any = false;
+      for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+        auto* durable = dynamic_cast<UpdateBufferedIndex*>(engine.shard(s));
+        if (durable == nullptr) continue;
+        any = true;
+        staged += durable->staged_records();
+        ckpts += durable->checkpoints_written();
+        last_lsn = std::max(last_lsn, durable->wal_last_lsn());
+      }
+      if (!any) return std::string();
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", staged=%zu, ckpts=%llu, wal_lsn=%llu", staged,
+                    static_cast<unsigned long long>(ckpts),
+                    static_cast<unsigned long long>(last_lsn));
+      return std::string(buf);
+    };
+    StartMeasuredPhaseTelemetry(args, telemetry, &reporter, &ops_done, detail);
+  };
   ConcurrentRunResult result;
   const Status status = RunConcurrentWorkload(&engine, w, config, &result);
+  reporter.reset();  // stop the heartbeat before any other output
+  const int telemetry_rc = FinishTelemetry(args, telemetry);
   if (!status.ok()) {
     std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (telemetry_rc != 0) return telemetry_rc;
 
   const std::vector<DiskModel> disks = ParseDisks(args.disk);
   if (disks.empty()) {
@@ -389,11 +612,11 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
     std::printf(
         "index,dataset,workload,threads,shards,lock_mode,disk,ops,tput_ops_s,"
         "reads_per_op,writes_per_op,p99_us,disk_mib,height,smos,hit_inner,hit_leaf,"
-        "hit_overall,durability,wal_writes\n");
+        "hit_overall,durability,wal_writes,p50_us,p999_us\n");
     for (const DiskModel& disk : disks) {
       std::printf(
           "%s,%s,%s,%zu,%zu,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu,"
-          "%.3f,%.3f,%.3f,%s,%llu\n",
+          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(), args.threads,
           engine.num_shards(), ShardLockModeName(engine_options.shard_lock_mode),
           disk.name.c_str(),
@@ -406,7 +629,8 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
           result.io.HitRateFor(FileClass::kInner),
           result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate(),
           DurabilityPolicyName(options.durability),
-          static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)));
+          static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)),
+          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk));
     }
     return 0;
   }
@@ -511,8 +735,22 @@ int main(int argc, char** argv) {
   spec.seed = args.seed + 1;
   spec.zipf_theta = args.zipf_theta;
 
-  if (args.threads == 1 && args.shards == 1) {
-    return RunSequential(args, options, keys, spec);
+  // Telemetry is opt-in: nothing is constructed (and the library sees null
+  // escape hatches, i.e. the zero-overhead default) unless a flag asks for an
+  // output. The registry/trace outlive the index and engine, which hold raw
+  // pointers to them.
+  TelemetryContext telemetry;
+  if (!args.metrics_out.empty() || !args.sample_out.empty()) {
+    telemetry.metrics = std::make_unique<MetricRegistry>();
   }
-  return RunEngine(args, options, keys, spec);
+  if (!args.trace_out.empty()) {
+    telemetry.trace = std::make_unique<TraceRecorder>();
+  }
+  options.metrics = telemetry.metrics.get();
+  options.trace = telemetry.trace.get();
+
+  if (args.threads == 1 && args.shards == 1) {
+    return RunSequential(args, options, keys, spec, &telemetry);
+  }
+  return RunEngine(args, options, keys, spec, &telemetry);
 }
