@@ -2,16 +2,20 @@
 // lookups, inserts and range scans, and inspect the exact block I/O that
 // every operation performed.
 //
-//   ./quickstart [index-name] [--on-disk DIR]
+//   ./quickstart [index-name] [--device modeled|file|direct --device-path DIR]
 //
 // index-name: btree | fiting | pgm | alex | lipp | hybrid-* (default: alex)
-// --on-disk DIR: store index files as real files under DIR instead of the
-//                in-RAM simulated disk.
+// --device: storage backend of the index files -- "modeled" (default) is the
+//           in-RAM simulated disk with exact counted I/O; "file"/"direct"
+//           issue real syscalls under --device-path (required for those
+//           kinds). Counted block I/O is identical across all three.
+// --on-disk DIR: back-compat alias for --device file --device-path DIR.
 
 #include <cstdio>
 #include <string>
 
 #include "core/index_factory.h"
+#include "storage/device_factory.h"
 #include "storage/disk_model.h"
 #include "workload/datasets.h"
 
@@ -23,10 +27,23 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--on-disk" && i + 1 < argc) {
-      options.storage_dir = argv[++i];
+      options.device = DeviceKind::kFile;
+      options.device_path = argv[++i];
+    } else if (arg == "--device" && i + 1 < argc) {
+      if (!DeviceKindFromName(argv[++i], &options.device)) {
+        std::fprintf(stderr, "unknown device '%s' (modeled|file|direct)\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--device-path" && i + 1 < argc) {
+      options.device_path = argv[++i];
     } else {
       index_name = arg;
     }
+  }
+  if (options.device != DeviceKind::kModeled && options.device_path.empty()) {
+    std::fprintf(stderr, "--device %s requires --device-path DIR\n",
+                 DeviceKindName(options.device));
+    return 2;
   }
 
   auto index = MakeIndex(index_name, options);
@@ -34,8 +51,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown index '%s'\n", index_name.c_str());
     return 2;
   }
-  std::printf("index: %s (%s)\n", index->name().c_str(),
-              options.storage_dir.empty() ? "simulated disk" : "real files");
+  std::printf("index: %s (device: %s)\n", index->name().c_str(),
+              DeviceKindName(EffectiveDeviceKind(options)));
 
   // 1. Bulkload 100k keys from the fb-like dataset (payload = key + 1).
   const auto records = MakeDatasetRecords("fb", 100'000);

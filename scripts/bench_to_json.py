@@ -13,7 +13,10 @@ row becomes one JSON record tagged with its label; the required columns
 numeric is expected. The durability columns (``wal_writes``, ``replay_ms``)
 and tail-latency columns (``p50_us``, ``p999_us``) are optional but validated
 just as strictly when present: non-numeric or negative values fail the
-conversion. Any malformed input -- missing file,
+conversion. The same holds for the measured wall-clock columns
+(``wall_us``, ``wall_p50_us``, ``wall_p999_us``) emitted beside the modeled
+ones when liod_cli runs on a real device; the ``device`` column is a plain
+string tag and passes through untouched. Any malformed input -- missing file,
 empty file, missing required column, non-numeric metric, truncated row --
 exits non-zero with a diagnostic, so CI fails instead of uploading garbage.
 
@@ -34,7 +37,8 @@ NUMERIC_COLUMNS = ("ops", "tput_ops_s", "reads_per_op", "writes_per_op")
 # latency columns (liod_cli p50_us/p999_us): optional, but when a CSV
 # declares them they must parse and be non-negative.
 OPTIONAL_NUMERIC_COLUMNS = ("wal_writes", "replay_ms", "replayed_records",
-                            "p50_us", "p999_us")
+                            "p50_us", "p999_us", "wall_us", "wall_p50_us",
+                            "wall_p999_us")
 SCHEMA = "liod-bench-smoke/1"
 
 

@@ -24,6 +24,12 @@ candidate fails too (silent coverage loss is a regression); candidate-only
 keys are reported but do not fail, so adding rows never requires touching
 this script.
 
+The measured wall-clock columns (``wall_us``, ``wall_p50_us``,
+``wall_p999_us``) and the ``device`` tag are deliberately NOT gated: on a
+real device they reflect the CI runner's disk and page cache, which vary
+run to run far beyond any useful threshold. Only the deterministic counted
+I/O and the modeled throughput participate in the regression gate.
+
 Exit status: 0 clean, 1 on any regression or malformed input. Regenerate the
 baseline by running the perf-smoke commands from .github/workflows/ci.yml and
 copying the resulting BENCH_smoke.json over the baseline file.
@@ -33,8 +39,8 @@ import argparse
 import json
 import sys
 
-KEY_COLUMNS = ("label", "index", "workload", "dataset", "disk", "threads", "shards",
-               "lock_mode", "durability", "buffer_blocks", "checkpoint_every",
+KEY_COLUMNS = ("label", "index", "workload", "dataset", "disk", "device", "threads",
+               "shards", "lock_mode", "durability", "buffer_blocks", "checkpoint_every",
                "merge_mode", "merge_threshold")
 WRITES_EPSILON = 0.05  # writes/op; absolute slack for near-zero baselines
 

@@ -16,6 +16,12 @@ of uploading garbage:
   ``count``, finite non-negative ``sum_us`` and quantiles, and bucket counts
   that sum to ``count``. ``--require-metrics`` lists counter or histogram
   names that must exist with a non-zero value/count.
+* ``--require-device-counters``: the metrics JSON must carry the complete
+  real-device submission namespace -- ``device.submissions``,
+  ``device.coalesced_blocks`` and ``device.fallbacks`` counters plus the
+  ``device.io_us`` histogram -- with at least one submission recorded and
+  ``device.io_us.count`` equal to ``device.submissions`` (every submission is
+  timed exactly once when a registry is bound at device construction).
 * ``--trace``: Chrome trace-event JSON with a non-empty ``traceEvents`` list
   of complete ("ph":"X") events carrying a name and numeric non-negative
   ``ts``/``dur``. ``--require-spans`` lists span names that must occur.
@@ -60,7 +66,7 @@ def check_finite_number(value, context: str) -> float:
     return float(value)
 
 
-def validate_metrics(path: str, required: list) -> None:
+def validate_metrics(path: str, required: list, require_device: bool = False) -> None:
     doc = load_json(path, "metrics")
     if not isinstance(doc, dict):
         fail(f"metrics: {path} top level is not an object")
@@ -104,6 +110,21 @@ def validate_metrics(path: str, required: list) -> None:
             total += n
         if total != count:
             fail(f"metrics: histogram {name!r} bucket counts sum to {total}, count says {count}")
+
+    if require_device:
+        for name in ("device.submissions", "device.coalesced_blocks",
+                     "device.fallbacks"):
+            if name not in doc["counters"]:
+                fail(f"metrics: device counter {name!r} is missing")
+        if "device.io_us" not in doc["histograms"]:
+            fail(f"metrics: histogram 'device.io_us' is missing")
+        submissions = doc["counters"]["device.submissions"]
+        if submissions == 0:
+            fail("metrics: device.submissions is zero (no real I/O recorded)")
+        io_count = doc["histograms"]["device.io_us"]["count"]
+        if io_count != submissions:
+            fail(f"metrics: device.io_us.count ({io_count}) != "
+                 f"device.submissions ({submissions})")
 
     for name in required:
         if name in doc["counters"]:
@@ -189,6 +210,9 @@ def main() -> None:
     parser.add_argument("--metrics", help="metrics JSON to validate")
     parser.add_argument("--require-metrics", default="",
                         help="comma-separated metric names that must be present and non-zero")
+    parser.add_argument("--require-device-counters", action="store_true",
+                        help="require the complete device.* submission namespace "
+                             "with device.io_us.count == device.submissions")
     parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
     parser.add_argument("--require-spans", default="",
                         help="comma-separated span names that must occur in the trace")
@@ -199,11 +223,14 @@ def main() -> None:
         fail("nothing to validate: pass --metrics, --trace, and/or --samples")
     if args.require_metrics and not args.metrics:
         fail("--require-metrics needs --metrics")
+    if args.require_device_counters and not args.metrics:
+        fail("--require-device-counters needs --metrics")
     if args.require_spans and not args.trace:
         fail("--require-spans needs --trace")
 
     if args.metrics:
-        validate_metrics(args.metrics, split_list(args.require_metrics))
+        validate_metrics(args.metrics, split_list(args.require_metrics),
+                         args.require_device_counters)
     if args.trace:
         validate_trace(args.trace, split_list(args.require_spans))
     if args.samples:

@@ -45,6 +45,41 @@ inline bool BufferPolicyFromName(const std::string& name, BufferPolicy* out) {
   return true;
 }
 
+/// Storage backend of every paged file (storage/device_factory.h). The
+/// modeled device backs all benchmarks: exact, deterministic counted I/O.
+/// The real devices issue actual syscalls so wall-clock columns can be
+/// measured beside the modeled ones; counted I/O is bit-identical across all
+/// three kinds (the buffer manager does the counting and never consults the
+/// device type).
+enum class DeviceKind {
+  kModeled,  ///< in-RAM MemoryBlockDevice (default; the determinism oracle)
+  kFile,     ///< buffered file I/O (pread/pwrite + preadv/pwritev batches)
+  kDirect,   ///< O_DIRECT + aligned buffers, io_uring/preadv batch submission
+};
+
+inline const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kModeled: return "modeled";
+    case DeviceKind::kFile: return "file";
+    case DeviceKind::kDirect: return "direct";
+  }
+  return "unknown";
+}
+
+/// Parses "modeled" / "file" / "direct". Returns false on an unknown name.
+inline bool DeviceKindFromName(const std::string& name, DeviceKind* out) {
+  if (name == "modeled") {
+    *out = DeviceKind::kModeled;
+  } else if (name == "file") {
+    *out = DeviceKind::kFile;
+  } else if (name == "direct") {
+    *out = DeviceKind::kDirect;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 /// How the out-of-place update buffer (src/updates/) drains staged updates
 /// back into the base index. Only consulted when update_buffer_blocks > 0.
 enum class MergeMode {
@@ -300,8 +335,31 @@ struct IndexOptions {
   /// Unit: filesystem path; default "" (empty); consumed by every index
   /// family. When non-empty, index files are real files created in this
   /// directory (FileBlockDevice). Empty uses the in-RAM simulated disk with
-  /// exact I/O accounting, which backs all benchmarks.
+  /// exact I/O accounting, which backs all benchmarks. Back-compat alias:
+  /// non-empty storage_dir with device == kModeled behaves as device == kFile
+  /// with device_path = storage_dir (see storage/device_factory.h).
   std::string storage_dir;
+
+  /// Storage backend of every paged file. Default kModeled, the in-RAM
+  /// simulated disk behind all benchmarks. kFile/kDirect issue real syscalls
+  /// (buffered / O_DIRECT with batched submission) so modeled numbers can be
+  /// validated against wall-clock ones; counted block I/O stays bit-identical
+  /// across kinds. Consumed by DiskIndex::MakeFile via MakeBlockDevice.
+  DeviceKind device = DeviceKind::kModeled;
+
+  /// Directory the real devices (kFile/kDirect) create their files in.
+  /// Unit: filesystem path; default "" -- the CLI then creates (and removes)
+  /// a temporary directory; library callers must set it when device !=
+  /// kModeled. Ignored for kModeled. Consumed via MakeBlockDevice.
+  std::string device_path;
+
+  /// Unit: flag; default true; consumed by the real devices. When true,
+  /// multi-block reads/writes coalesce contiguous runs into vectored batch
+  /// submissions (io_uring where available, preadv/pwritev otherwise): an
+  /// N-block fetch is one submission, not N syscalls. False issues one
+  /// syscall per block -- the CI baseline that pins the batch path's syscall
+  /// savings. Never changes counted I/O, only how the device submits it.
+  bool device_batching = true;
 
   // --- B+-tree ----------------------------------------------------------
   /// Leaf/inner fill fraction used during bulkload. Unit: fraction in

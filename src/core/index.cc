@@ -1,17 +1,10 @@
 #include "core/index.h"
 
-#include <unistd.h>
-
-#include <atomic>
 #include <utility>
 
-#include "storage/block_device.h"
+#include "storage/device_factory.h"
 
 namespace liod {
-
-namespace {
-std::atomic<std::uint64_t> g_file_counter{0};
-}  // namespace
 
 DiskIndex::DiskIndex(const IndexOptions& options) : options_(options) {
   if (options_.shared_buffer_manager != nullptr) {
@@ -31,20 +24,7 @@ std::unique_ptr<PagedFile> DiskIndex::MakeFile(FileClass klass) {
   file_options.count_io = !(options_.memory_resident_inner && inner_class);
 
   std::unique_ptr<BlockDevice> device;
-  if (options_.storage_dir.empty()) {
-    device = std::make_unique<MemoryBlockDevice>(options_.block_size);
-  } else {
-    const std::uint64_t id = g_file_counter.fetch_add(1);
-    const std::string path = options_.storage_dir + "/liod_" +
-                             std::to_string(::getpid()) + "_" + std::to_string(id) + "_" +
-                             FileClassName(klass) + ".bin";
-    auto file_device =
-        std::make_unique<FileBlockDevice>(path, options_.block_size, /*truncate=*/true);
-    CheckOk(file_device->ok() ? Status::Ok()
-                              : Status::IoError("cannot create " + path),
-            "DiskIndex::MakeFile");
-    device = std::move(file_device);
-  }
+  CheckOk(MakeBlockDevice(options_, FileClassName(klass), &device), "DiskIndex::MakeFile");
   auto file = std::make_unique<PagedFile>(std::move(device), buffer_manager_, &io_stats_,
                                           klass, file_options);
   if (write_ahead_hook_) file->SetWriteAheadHook(write_ahead_hook_);

@@ -127,6 +127,18 @@ double ConcurrentRunResult::LatencyPercentileUs(double q, const DiskModel& model
   return latencies[idx];
 }
 
+double ConcurrentRunResult::WallPercentileUs(double q) const {
+  std::vector<double> latencies;
+  for (const ThreadRunResult& t : threads) {
+    for (const OpSample& s : t.samples) latencies.push_back(s.cpu_us);
+  }
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t idx =
+      std::min(latencies.size() - 1, static_cast<std::size_t>(q * latencies.size()));
+  return latencies[idx];
+}
+
 Status RunConcurrentWorkload(ShardedEngine* engine, const ConcurrentWorkload& workload,
                              const ConcurrentRunnerConfig& config,
                              ConcurrentRunResult* result) {

@@ -66,6 +66,9 @@ struct ConcurrentRunResult {
   /// p-quantile (e.g. 0.99) of modeled per-op latency over every thread's
   /// samples. Requires record_samples.
   double LatencyPercentileUs(double q, const DiskModel& model) const;
+  /// p-quantile of MEASURED per-op wall time over every thread's samples (on
+  /// a real device this includes the actual I/O). Requires record_samples.
+  double WallPercentileUs(double q) const;
 };
 
 struct ConcurrentRunnerConfig {

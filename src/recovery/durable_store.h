@@ -24,6 +24,17 @@ class BorrowedBlockDevice final : public BlockDevice {
   BlockId num_blocks() const override { return base_->num_blocks(); }
   Status Grow(BlockId new_num_blocks) override { return base_->Grow(new_num_blocks); }
 
+  // Forward the batch capability too: a WAL block force on a real device
+  // should coalesce like any other multi-block submission.
+  bool SupportsBatch() const override { return base_->SupportsBatch(); }
+  Status ReadBatch(std::span<const BlockId> ids, std::span<std::byte* const> outs) override {
+    return base_->ReadBatch(ids, outs);
+  }
+  Status WriteBatch(std::span<const BlockId> ids,
+                    std::span<const std::byte* const> datas) override {
+    return base_->WriteBatch(ids, datas);
+  }
+
  private:
   BlockDevice* base_;  // non-owning
 };

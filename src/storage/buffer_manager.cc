@@ -131,6 +131,18 @@ Status FileHandle::WriteBlock(BlockId id, const std::byte* data) {
   return manager_->WriteBlockLocked(this, id, data);
 }
 
+Status FileHandle::ReadBlocks(std::span<const BlockId> ids,
+                              std::span<std::byte* const> outs) {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return manager_->ReadBlocksLocked(this, ids, outs);
+}
+
+Status FileHandle::WriteBlocks(std::span<const BlockId> ids,
+                               std::span<const std::byte* const> datas) {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  return manager_->WriteBlocksLocked(this, ids, datas);
+}
+
 Status FileHandle::Flush() {
   std::lock_guard<std::mutex> lock(manager_->mu_);
   return manager_->FlushLocked(this);
@@ -353,6 +365,115 @@ Status BufferManager::WriteBlockLocked(FileHandle* file, BlockId id,
   return Status::Ok();
 }
 
+namespace {
+
+/// True when the id sequence is strictly increasing -- the shape the batch
+/// paths are specified for (PagedFile only ever produces it). Anything else
+/// takes the sequential per-id path so its semantics need no batch analysis.
+bool StrictlyIncreasing(std::span<const BlockId> ids) {
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status BufferManager::ReadBlocksLocked(FileHandle* file, std::span<const BlockId> ids,
+                                       std::span<std::byte* const> outs) {
+  if (ids.size() < 2 || !file->device_->SupportsBatch() || !StrictlyIncreasing(ids)) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      LIOD_RETURN_IF_ERROR(ReadBlockLocked(file, ids[i], outs[i]));
+    }
+    return Status::Ok();
+  }
+  Pool& pool = *pools_[file->pool_];
+  LIOD_RETURN_IF_ERROR(CheckBudget(pool));
+  const std::size_t block_size = file->device_->block_size();
+  // In-order replay of the sequential hit/miss state machine -- every counter
+  // increment and every policy Touch/evict/Insert happens at the same point
+  // it would per-id, so counted I/O is bit-identical. Only the misses' device
+  // reads are deferred into one batch submission at the end. A missed block's
+  // frame is inserted "promised" (clean, unfilled); with a budget smaller
+  // than the batch a later miss may evict it again, so the fill loop below
+  // re-looks each miss up and only fills frames that survived.
+  std::vector<BlockId> miss_ids;
+  std::vector<std::byte*> miss_outs;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const BlockId id = ids[i];
+    const auto it = file->frames_.find(id);
+    if (it != file->frames_.end()) {
+      if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountHit(file->klass_);
+      pool.policy->Touch(it->second);
+      std::memcpy(outs[i], slots_[it->second].data.get(), block_size);
+      continue;
+    }
+    if (file->count_io_ && file->stats_ != nullptr) {
+      file->stats_->CountMiss(file->klass_);
+      file->stats_->CountRead(file->klass_);
+    }
+    miss_ids.push_back(id);
+    miss_outs.push_back(outs[i]);
+    LIOD_RETURN_IF_ERROR(MakeRoomLocked(pool));
+    (void)InsertFrameLocked(file, id, /*dirty=*/false);
+  }
+  if (miss_ids.empty()) return Status::Ok();
+  const Status status = file->device_->ReadBatch(miss_ids, miss_outs);
+  if (!status.ok()) {
+    // Drop the unfilled promised frames: caching garbage would be worse than
+    // the (error-path-only) divergence from the sequential counts.
+    for (const BlockId id : miss_ids) {
+      const auto it = file->frames_.find(id);
+      if (it != file->frames_.end()) DropFrameLocked(it->second);
+    }
+    return status;
+  }
+  for (std::size_t i = 0; i < miss_ids.size(); ++i) {
+    const auto it = file->frames_.find(miss_ids[i]);
+    if (it != file->frames_.end()) {
+      std::memcpy(slots_[it->second].data.get(), miss_outs[i], block_size);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferManager::WriteBlocksLocked(FileHandle* file, std::span<const BlockId> ids,
+                                        std::span<const std::byte* const> datas) {
+  // Write-back defers all device writes to eviction/flush, so there is
+  // nothing to batch here -- the per-id loop IS the batch path.
+  if (ids.size() < 2 || !file->device_->SupportsBatch() || options_.write_back ||
+      !StrictlyIncreasing(ids)) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      LIOD_RETURN_IF_ERROR(WriteBlockLocked(file, ids[i], datas[i]));
+    }
+    return Status::Ok();
+  }
+  Pool& pool = *pools_[file->pool_];
+  LIOD_RETURN_IF_ERROR(CheckBudget(pool));
+  const std::size_t block_size = file->device_->block_size();
+  // Write-through: submit every device write as one batch up front. Under
+  // write-through no frame is ever dirty, so the frame bookkeeping below
+  // performs no device I/O and the device sees the same per-block write order
+  // as the sequential loop.
+  LIOD_RETURN_IF_ERROR(file->device_->WriteBatch(ids, datas));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const BlockId id = ids[i];
+    if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountWrite(file->klass_);
+    const auto it = file->frames_.find(id);
+    if (it != file->frames_.end()) {
+      if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountHit(file->klass_);
+      pool.policy->Touch(it->second);
+      std::memcpy(slots_[it->second].data.get(), datas[i], block_size);
+      continue;
+    }
+    if (file->count_io_ && file->stats_ != nullptr) file->stats_->CountMiss(file->klass_);
+    LIOD_RETURN_IF_ERROR(MakeRoomLocked(pool));
+    const std::size_t slot = InsertFrameLocked(file, id, /*dirty=*/false);
+    std::memcpy(slots_[slot].data.get(), datas[i], block_size);
+  }
+  return Status::Ok();
+}
+
 Status BufferManager::FlushLocked(FileHandle* file) {
   // Deterministic write-back order (the map iterates in hash order).
   std::vector<std::size_t> dirty_slots;
@@ -363,6 +484,31 @@ Status BufferManager::FlushLocked(FileHandle* file) {
             [this](std::size_t a, std::size_t b) {
               return slots_[a].block < slots_[b].block;
             });
+  if (dirty_slots.size() >= 2 && file->device_->SupportsBatch()) {
+    // WAL-before-data once for the whole drain: the hook forces everything
+    // unforced, so the first call covers all N pages (per-page re-invocation
+    // would be a no-op anyway).
+    if (file->write_ahead_) LIOD_RETURN_IF_ERROR(file->write_ahead_());
+    std::vector<BlockId> ids;
+    std::vector<const std::byte*> datas;
+    ids.reserve(dirty_slots.size());
+    datas.reserve(dirty_slots.size());
+    for (std::size_t slot : dirty_slots) {
+      ids.push_back(slots_[slot].block);
+      datas.push_back(slots_[slot].data.get());
+    }
+    // Frames stay dirty on failure; writes are block-granular and idempotent,
+    // so the next flush simply redoes the batch.
+    LIOD_RETURN_IF_ERROR(file->device_->WriteBatch(ids, datas));
+    for (std::size_t slot : dirty_slots) {
+      if (file->count_io_ && file->stats_ != nullptr) {
+        file->stats_->CountWrite(file->klass_);
+        file->stats_->CountWriteback(file->klass_);
+      }
+      slots_[slot].dirty = false;
+    }
+    return Status::Ok();
+  }
   for (std::size_t slot : dirty_slots) {
     LIOD_RETURN_IF_ERROR(WritebackLocked(slots_[slot]));
   }

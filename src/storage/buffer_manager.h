@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -54,6 +55,21 @@ class FileHandle {
   /// immediately and is counted. Write-back: the frame is dirtied and the
   /// device write is paid (and counted) on eviction or Flush.
   Status WriteBlock(BlockId id, const std::byte* data);
+
+  /// Batch ReadBlock: copies ids[i] into outs[i]. Counted I/O (hits, misses,
+  /// reads, evictions) is bit-identical to calling ReadBlock per id -- the
+  /// per-id hit/miss/eviction state machine runs in order; only the device
+  /// reads of the misses are deferred into one ReadBatch submission. Devices
+  /// without batch support (and non-strictly-increasing id sequences) take
+  /// the sequential path outright.
+  Status ReadBlocks(std::span<const BlockId> ids, std::span<std::byte* const> outs);
+
+  /// Batch WriteBlock, same contract: counted I/O bit-identical to the
+  /// per-id loop. Write-through mode submits all device writes as one
+  /// WriteBatch (frames are never dirty under write-through, so the frame
+  /// bookkeeping performs no device I/O of its own); write-back mode has no
+  /// immediate device writes to batch and simply loops.
+  Status WriteBlocks(std::span<const BlockId> ids, std::span<const std::byte* const> datas);
 
   /// Writes back every dirty frame of this file; frames stay cached (clean).
   Status Flush();
@@ -176,6 +192,10 @@ class BufferManager {
   bool PoolIsPrivateLocked(const FileHandle* file) const;
   Status ReadBlockLocked(FileHandle* file, BlockId id, std::byte* out);
   Status WriteBlockLocked(FileHandle* file, BlockId id, const std::byte* data);
+  Status ReadBlocksLocked(FileHandle* file, std::span<const BlockId> ids,
+                          std::span<std::byte* const> outs);
+  Status WriteBlocksLocked(FileHandle* file, std::span<const BlockId> ids,
+                           std::span<const std::byte* const> datas);
   Status FlushLocked(FileHandle* file);
   /// Evicts until `pool` has room for one more frame. Dirty victims are
   /// written back (counted); a write-back failure aborts the operation and

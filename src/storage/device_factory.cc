@@ -1,0 +1,60 @@
+#include "storage/device_factory.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include "storage/direct_device.h"
+
+namespace liod {
+
+namespace {
+std::atomic<std::uint64_t> g_device_counter{0};
+}  // namespace
+
+DeviceKind EffectiveDeviceKind(const IndexOptions& options) {
+  if (options.device == DeviceKind::kModeled && !options.storage_dir.empty()) {
+    return DeviceKind::kFile;
+  }
+  return options.device;
+}
+
+std::string EffectiveDevicePath(const IndexOptions& options) {
+  if (!options.device_path.empty()) return options.device_path;
+  return options.storage_dir;
+}
+
+Status MakeBlockDevice(const IndexOptions& options, const std::string& label,
+                       std::unique_ptr<BlockDevice>* out) {
+  const DeviceKind kind = EffectiveDeviceKind(options);
+  if (kind == DeviceKind::kModeled) {
+    *out = std::make_unique<MemoryBlockDevice>(options.block_size);
+    return Status::Ok();
+  }
+  const std::string dir = EffectiveDevicePath(options);
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "device_path must be set when device != modeled (the CLI creates a "
+        "temporary directory; library callers pass their own)");
+  }
+  const std::uint64_t id = g_device_counter.fetch_add(1);
+  const std::string path = dir + "/liod_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(id) + "_" + label + ".bin";
+  if (kind == DeviceKind::kFile) {
+    auto device = std::make_unique<FileBlockDevice>(path, options.block_size,
+                                                    /*truncate=*/true, options.metrics,
+                                                    options.device_batching);
+    if (!device->ok()) return Status::IoError("cannot create " + path);
+    *out = std::move(device);
+    return Status::Ok();
+  }
+  DirectDeviceOptions direct_options;
+  direct_options.batching = options.device_batching;
+  direct_options.metrics = options.metrics;
+  auto device = std::make_unique<DirectBlockDevice>(path, options.block_size, direct_options);
+  if (!device->ok()) return Status::IoError("cannot create " + path);
+  *out = std::move(device);
+  return Status::Ok();
+}
+
+}  // namespace liod

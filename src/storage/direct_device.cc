@@ -1,0 +1,483 @@
+#include "storage/direct_device.h"
+
+#include <fcntl.h>
+#include <stdlib.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#if defined(LIOD_HAVE_IO_URING)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace liod {
+
+namespace {
+
+/// O_DIRECT buffer alignment: one page satisfies every filesystem's sector
+/// requirement (512 or 4096).
+constexpr std::size_t kArenaAlign = 4096;
+
+/// Blocks per submission wave: bounds the bounce arena (256 x 4 KiB = 1 MiB)
+/// and the per-wave bookkeeping. A longer batch simply takes several waves.
+constexpr std::size_t kMaxWaveBlocks = 256;
+
+/// Submission-queue entries requested from io_uring_setup: one per run, so a
+/// wave of fully non-contiguous blocks still fits in one enter.
+constexpr unsigned kRingEntries = kMaxWaveBlocks;
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
+      .count();
+}
+
+/// A contiguous slice of a batch: `first` indexes into the ids/outs spans.
+struct Run {
+  std::size_t first;
+  std::size_t len;
+};
+
+}  // namespace
+
+// --- raw-syscall io_uring (no liburing dependency) --------------------------
+
+#if defined(LIOD_HAVE_IO_URING)
+
+struct DirectBlockDevice::Uring {
+  int fd = -1;
+  unsigned sq_entries = 0;
+  std::byte* sq_ring = nullptr;
+  std::size_t sq_ring_len = 0;
+  std::byte* cq_ring = nullptr;
+  std::size_t cq_ring_len = 0;
+  bool single_mmap = false;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Uring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_ring != nullptr && !single_mmap) ::munmap(cq_ring, cq_ring_len);
+    if (sq_ring != nullptr) ::munmap(sq_ring, sq_ring_len);
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool Setup(unsigned entries) {
+    io_uring_params params{};
+    fd = static_cast<int>(::syscall(__NR_io_uring_setup, entries, &params));
+    if (fd < 0) return false;  // ENOSYS/EPERM: kernel or sandbox says no
+    sq_entries = params.sq_entries;
+    sq_ring_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_len = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_ring_len = cq_ring_len = std::max(sq_ring_len, cq_ring_len);
+    void* sq = ::mmap(nullptr, sq_ring_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq == MAP_FAILED) return false;
+    sq_ring = static_cast<std::byte*>(sq);
+    if (single_mmap) {
+      cq_ring = sq_ring;
+    } else {
+      void* cq = ::mmap(nullptr, cq_ring_len, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (cq == MAP_FAILED) return false;
+      cq_ring = static_cast<std::byte*>(cq);
+    }
+    sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+    void* se = ::mmap(nullptr, sqes_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (se == MAP_FAILED) return false;
+    sqes = static_cast<io_uring_sqe*>(se);
+    sq_tail = reinterpret_cast<unsigned*>(sq_ring + params.sq_off.tail);
+    sq_mask = reinterpret_cast<unsigned*>(sq_ring + params.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sq_ring + params.sq_off.array);
+    cq_head = reinterpret_cast<unsigned*>(cq_ring + params.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq_ring + params.cq_off.tail);
+    cq_mask = reinterpret_cast<unsigned*>(cq_ring + params.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq_ring + params.cq_off.cqes);
+    return true;
+  }
+
+  /// Queues one READV/WRITEV sqe. The caller owns iovec lifetime until the
+  /// wave's enter returns.
+  void Push(bool write, int file_fd, const struct iovec* iov, unsigned iov_cnt,
+            off_t offset, std::uint64_t user_data) {
+    const unsigned tail = *sq_tail;  // we are the only producer (manager latch)
+    const unsigned idx = tail & *sq_mask;
+    io_uring_sqe& sqe = sqes[idx];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = write ? IORING_OP_WRITEV : IORING_OP_READV;
+    sqe.fd = file_fd;
+    sqe.addr = reinterpret_cast<std::uint64_t>(iov);
+    sqe.len = iov_cnt;
+    sqe.off = static_cast<std::uint64_t>(offset);
+    sqe.user_data = user_data;
+    sq_array[idx] = idx;
+    __atomic_store_n(sq_tail, tail + 1, __ATOMIC_RELEASE);
+  }
+
+  /// Submits `n` queued sqes and waits for all `n` completions. Returns the
+  /// enter() result (< 0: -errno). Completion results land in
+  /// results[user_data].
+  int SubmitAndWait(unsigned n, std::vector<ssize_t>* results) {
+    long r;
+    do {
+      r = ::syscall(__NR_io_uring_enter, fd, n, n, IORING_ENTER_GETEVENTS, nullptr, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return -errno;
+    unsigned head = *cq_head;  // we are the only consumer
+    unsigned reaped = 0;
+    while (reaped < n) {
+      const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+      while (head != tail && reaped < n) {
+        const io_uring_cqe& cqe = cqes[head & *cq_mask];
+        if (cqe.user_data < results->size()) {
+          (*results)[cqe.user_data] = cqe.res;
+        }
+        ++head;
+        ++reaped;
+      }
+      __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+      if (reaped < n) {
+        // Completions not all posted yet: wait for the remainder.
+        long w;
+        do {
+          w = ::syscall(__NR_io_uring_enter, fd, 0, n - reaped, IORING_ENTER_GETEVENTS,
+                        nullptr, 0);
+        } while (w < 0 && errno == EINTR);
+        if (w < 0) return -errno;
+      }
+    }
+    return static_cast<int>(r);
+  }
+};
+
+#else  // !LIOD_HAVE_IO_URING
+
+struct DirectBlockDevice::Uring {
+  bool Setup(unsigned) { return false; }
+  void Push(bool, int, const struct iovec*, unsigned, off_t, std::uint64_t) {}
+  int SubmitAndWait(unsigned, std::vector<ssize_t>*) { return -ENOSYS; }
+  unsigned sq_entries = 0;
+};
+
+#endif  // LIOD_HAVE_IO_URING
+
+// --- DirectBlockDevice ------------------------------------------------------
+
+DirectBlockDevice::DirectBlockDevice(const std::string& path, std::size_t block_size,
+                                     const DirectDeviceOptions& options)
+    : BlockDevice(block_size),
+      path_(path),
+      batching_(options.batching),
+      telemetry_(options.metrics) {
+  int flags = O_RDWR | O_CREAT;
+  if (options.truncate) flags |= O_TRUNC;
+  if (options.try_o_direct) {
+    fd_ = ::open(path.c_str(), flags | O_DIRECT, 0644);
+    if (fd_ >= 0) {
+      direct_ = true;
+    } else {
+      // tmpfs and friends reject O_DIRECT at open (EINVAL): buffered fallback.
+      telemetry_.RecordFallback();
+    }
+  }
+  if (fd_ < 0) fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ >= 0 && !options.truncate) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end > 0) num_blocks_ = static_cast<BlockId>(static_cast<std::size_t>(end) / block_size);
+  }
+  if (fd_ >= 0 && batching_ && options.try_io_uring) {
+    auto ring = std::make_unique<Uring>();
+    if (ring->Setup(kRingEntries)) {
+      ring_ = std::move(ring);
+    } else {
+      // No io_uring here (old kernel, seccomp): preadv/pwritev coalescing.
+      telemetry_.RecordFallback();
+    }
+  }
+}
+
+DirectBlockDevice::~DirectBlockDevice() {
+  ring_.reset();
+  if (arena_ != nullptr) ::free(arena_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool DirectBlockDevice::using_io_uring() const { return ring_ != nullptr; }
+
+std::byte* DirectBlockDevice::EnsureArena(std::size_t bytes) {
+  if (arena_bytes_ >= bytes) return arena_;
+  std::size_t want = arena_bytes_ == 0 ? kArenaAlign : arena_bytes_;
+  while (want < bytes) want *= 2;
+  void* fresh = nullptr;
+  if (::posix_memalign(&fresh, kArenaAlign, want) != 0) return nullptr;
+  if (arena_ != nullptr) ::free(arena_);
+  arena_ = static_cast<std::byte*>(fresh);
+  arena_bytes_ = want;
+  return arena_;
+}
+
+void DirectBlockDevice::DropODirect() {
+  // Runtime O_DIRECT rejection (filesystem accepted the open but refuses the
+  // I/O): strip the flag and continue buffered.
+  const int flags = ::fcntl(fd_, F_GETFL);
+  if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags & ~O_DIRECT);
+  direct_ = false;
+  telemetry_.RecordFallback();
+}
+
+Status DirectBlockDevice::Read(BlockId id, std::byte* out) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("read past device end: block " + std::to_string(id));
+  }
+  const std::size_t bs = block_size();
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(bs);
+  const auto start = telemetry_.timed() ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+  Status status;
+  if (direct_) {
+    std::byte* bounce = EnsureArena(bs);
+    if (bounce == nullptr) return Status::IoError("posix_memalign failed for " + path_);
+    status = PreadFull(fd_, bounce, bs, off, path_);
+    if (!status.ok() && direct_) {
+      DropODirect();
+      status = PreadFull(fd_, bounce, bs, off, path_);
+    }
+    if (status.ok()) std::memcpy(out, bounce, bs);
+  } else {
+    status = PreadFull(fd_, out, bs, off, path_);
+  }
+  LIOD_RETURN_IF_ERROR(status);
+  telemetry_.RecordSubmission(1, telemetry_.timed() ? ElapsedUs(start) : 0.0);
+  return Status::Ok();
+}
+
+Status DirectBlockDevice::Write(BlockId id, const std::byte* data) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("write past device end: block " + std::to_string(id));
+  }
+  const std::size_t bs = block_size();
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(bs);
+  const auto start = telemetry_.timed() ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+  Status status;
+  if (direct_) {
+    std::byte* bounce = EnsureArena(bs);
+    if (bounce == nullptr) return Status::IoError("posix_memalign failed for " + path_);
+    std::memcpy(bounce, data, bs);
+    status = PwriteFull(fd_, bounce, bs, off, path_);
+    if (!status.ok() && direct_) {
+      DropODirect();
+      status = PwriteFull(fd_, bounce, bs, off, path_);
+    }
+  } else {
+    status = PwriteFull(fd_, data, bs, off, path_);
+  }
+  LIOD_RETURN_IF_ERROR(status);
+  telemetry_.RecordSubmission(1, telemetry_.timed() ? ElapsedUs(start) : 0.0);
+  return Status::Ok();
+}
+
+BlockId DirectBlockDevice::num_blocks() const { return num_blocks_; }
+
+Status DirectBlockDevice::Grow(BlockId new_num_blocks) {
+  if (new_num_blocks <= num_blocks_) return Status::Ok();
+  const off_t new_size = static_cast<off_t>(new_num_blocks) * static_cast<off_t>(block_size());
+  if (::ftruncate(fd_, new_size) != 0) {
+    return Status::IoError("ftruncate failed on " + path_ + ": " + std::strerror(errno));
+  }
+  num_blocks_ = new_num_blocks;
+  return Status::Ok();
+}
+
+Status DirectBlockDevice::CheckRange(std::span<const BlockId> ids, const char* what) const {
+  for (const BlockId id : ids) {
+    if (id >= num_blocks_) {
+      return Status::OutOfRange(std::string(what) + " past device end: block " +
+                                std::to_string(id));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DirectBlockDevice::ReadBatch(std::span<const BlockId> ids,
+                                    std::span<std::byte* const> outs) {
+  if (!batching_) return BlockDevice::ReadBatch(ids, outs);
+  LIOD_RETURN_IF_ERROR(CheckRange(ids, "read"));
+  return BatchIo(ids, outs, {}, /*write=*/false);
+}
+
+Status DirectBlockDevice::WriteBatch(std::span<const BlockId> ids,
+                                     std::span<const std::byte* const> datas) {
+  if (!batching_) return BlockDevice::WriteBatch(ids, datas);
+  LIOD_RETURN_IF_ERROR(CheckRange(ids, "write"));
+  return BatchIo(ids, {}, datas, /*write=*/true);
+}
+
+Status DirectBlockDevice::BatchIo(std::span<const BlockId> ids,
+                                  std::span<std::byte* const> outs,
+                                  std::span<const std::byte* const> datas, bool write) {
+  const std::size_t bs = block_size();
+
+  // Coalesce contiguous block runs, capping each at the wave size so the
+  // arena and the per-run iovec table stay bounded.
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < ids.size();) {
+    std::size_t len = 1;
+    while (i + len < ids.size() && len < kMaxWaveBlocks &&
+           ids[i + len] == ids[i + len - 1] + 1) {
+      ++len;
+    }
+    runs.push_back({i, len});
+    i += len;
+  }
+
+  // Group runs into waves of at most kMaxWaveBlocks blocks (and, for the
+  // ring, at most sq_entries submissions).
+  std::size_t r = 0;
+  while (r < runs.size()) {
+    std::size_t wave_runs = 0;
+    std::size_t wave_blocks = 0;
+    const std::size_t max_runs = ring_ != nullptr ? ring_->sq_entries : runs.size() - r;
+    while (r + wave_runs < runs.size() && wave_runs < max_runs &&
+           wave_blocks + runs[r + wave_runs].len <= kMaxWaveBlocks) {
+      wave_blocks += runs[r + wave_runs].len;
+      ++wave_runs;
+    }
+    if (wave_runs == 0) {  // single run larger than a wave cannot happen (capped)
+      wave_runs = 1;
+      wave_blocks = runs[r].len;
+    }
+
+    // Per-run I/O geometry for this wave. In direct mode every run moves
+    // through a contiguous, aligned arena segment (1 iovec per run); in
+    // buffered mode the iovecs scatter/gather straight to the caller's
+    // per-block pointers (len iovecs per run).
+    std::byte* arena = nullptr;
+    if (direct_) {
+      arena = EnsureArena(wave_blocks * bs);
+      if (arena == nullptr) return Status::IoError("posix_memalign failed for " + path_);
+    }
+    std::vector<struct iovec> iov;
+    iov.reserve(direct_ ? wave_runs : wave_blocks);
+    std::vector<std::size_t> iov_first(wave_runs), iov_count(wave_runs);
+    std::vector<std::size_t> arena_off(wave_runs);
+    std::size_t blocks_before = 0;
+    for (std::size_t w = 0; w < wave_runs; ++w) {
+      const Run& run = runs[r + w];
+      iov_first[w] = iov.size();
+      arena_off[w] = blocks_before * bs;
+      if (direct_) {
+        if (write) {
+          for (std::size_t k = 0; k < run.len; ++k) {
+            std::memcpy(arena + arena_off[w] + k * bs, datas[run.first + k], bs);
+          }
+        }
+        iov.push_back({arena + arena_off[w], run.len * bs});
+      } else {
+        for (std::size_t k = 0; k < run.len; ++k) {
+          std::byte* p = write ? const_cast<std::byte*>(datas[run.first + k])
+                               : outs[run.first + k];
+          iov.push_back({p, bs});
+        }
+      }
+      iov_count[w] = iov.size() - iov_first[w];
+      blocks_before += run.len;
+    }
+
+    const auto start = telemetry_.timed() ? std::chrono::steady_clock::now()
+                                          : std::chrono::steady_clock::time_point{};
+    // Per-run completion in bytes; < expected (or negative) triggers the
+    // plain full-transfer fallback for that run.
+    std::vector<ssize_t> results(wave_runs, -1);
+    bool submitted = false;
+    if (ring_ != nullptr) {
+      for (std::size_t w = 0; w < wave_runs; ++w) {
+        const Run& run = runs[r + w];
+        const off_t off = static_cast<off_t>(ids[run.first]) * static_cast<off_t>(bs);
+        ring_->Push(write, fd_, &iov[iov_first[w]], static_cast<unsigned>(iov_count[w]),
+                    off, w);
+      }
+      const int rc = ring_->SubmitAndWait(static_cast<unsigned>(wave_runs), &results);
+      if (rc < 0) {
+        // The ring itself refused (sandbox, kernel regression): tear it down
+        // for the rest of this device's life and redo via preadv below.
+        ring_.reset();
+        telemetry_.RecordFallback();
+      } else {
+        submitted = true;
+        telemetry_.RecordSubmission(wave_blocks, telemetry_.timed() ? ElapsedUs(start) : 0.0);
+      }
+    }
+    if (!submitted) {
+      for (std::size_t w = 0; w < wave_runs; ++w) {
+        const Run& run = runs[r + w];
+        const off_t off = static_cast<off_t>(ids[run.first]) * static_cast<off_t>(bs);
+        const auto run_start = telemetry_.timed() ? std::chrono::steady_clock::now()
+                                                  : std::chrono::steady_clock::time_point{};
+        ssize_t n;
+        do {
+          n = write ? ::pwritev(fd_, &iov[iov_first[w]], static_cast<int>(iov_count[w]), off)
+                    : ::preadv(fd_, &iov[iov_first[w]], static_cast<int>(iov_count[w]), off);
+        } while (n < 0 && errno == EINTR);
+        results[w] = n;
+        if (n >= 0) {
+          telemetry_.RecordSubmission(run.len,
+                                      telemetry_.timed() ? ElapsedUs(run_start) : 0.0);
+        }
+      }
+    }
+
+    // Settle each run: redo short/failed runs with the full-transfer loop
+    // (reads and block-granular writes are idempotent, so redoing the whole
+    // run is correct), then scatter direct-mode reads out of the arena.
+    for (std::size_t w = 0; w < wave_runs; ++w) {
+      const Run& run = runs[r + w];
+      const off_t off = static_cast<off_t>(ids[run.first]) * static_cast<off_t>(bs);
+      const std::size_t want = run.len * bs;
+      if (results[w] != static_cast<ssize_t>(want)) {
+        telemetry_.RecordFallback();
+        Status status;
+        if (direct_) {
+          status = write ? PwriteFull(fd_, arena + arena_off[w], want, off, path_)
+                         : PreadFull(fd_, arena + arena_off[w], want, off, path_);
+          if (!status.ok() && direct_) {
+            DropODirect();
+            status = write ? PwriteFull(fd_, arena + arena_off[w], want, off, path_)
+                           : PreadFull(fd_, arena + arena_off[w], want, off, path_);
+          }
+        } else {
+          for (std::size_t k = 0; k < run.len && status.ok(); ++k) {
+            const off_t block_off = off + static_cast<off_t>(k * bs);
+            status = write ? PwriteFull(fd_, datas[run.first + k], bs, block_off, path_)
+                           : PreadFull(fd_, outs[run.first + k], bs, block_off, path_);
+          }
+        }
+        LIOD_RETURN_IF_ERROR(status);
+      }
+      if (direct_ && !write) {
+        for (std::size_t k = 0; k < run.len; ++k) {
+          std::memcpy(outs[run.first + k], arena + arena_off[w] + k * bs, bs);
+        }
+      }
+    }
+    r += wave_runs;
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod

@@ -80,14 +80,35 @@ Status PagedFile::ReadBytes(std::uint64_t byte_offset, std::uint64_t length, std
   const std::uint64_t bs = block_size();
   BlockBuffer scratch(bs);
   std::uint64_t done = 0;
-  while (done < length) {
-    const std::uint64_t pos = byte_offset + done;
-    const BlockId block = static_cast<BlockId>(pos / bs);
-    const std::uint64_t in_block = pos % bs;
-    const std::uint64_t chunk = std::min(length - done, bs - in_block);
+  // Partial head block via the scratch buffer.
+  if (length > 0 && byte_offset % bs != 0) {
+    const BlockId block = static_cast<BlockId>(byte_offset / bs);
+    const std::uint64_t in_block = byte_offset % bs;
+    const std::uint64_t chunk = std::min(length, bs - in_block);
     LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
     std::memcpy(out + done, scratch.data() + in_block, chunk);
     done += chunk;
+  }
+  // Block-aligned middle: one batched submission straight into the caller's
+  // buffer. The ids are consecutive, so a batching device coalesces the whole
+  // span into a single vectored read.
+  const std::uint64_t full = (length - done) / bs;
+  if (full > 0) {
+    const BlockId first = static_cast<BlockId>((byte_offset + done) / bs);
+    std::vector<BlockId> ids(full);
+    std::vector<std::byte*> outs(full);
+    for (std::uint64_t i = 0; i < full; ++i) {
+      ids[i] = first + static_cast<BlockId>(i);
+      outs[i] = out + done + i * bs;
+    }
+    LIOD_RETURN_IF_ERROR(buffer_->ReadBlocks(ids, outs));
+    done += full * bs;
+  }
+  // Partial tail block.
+  if (done < length) {
+    const BlockId block = static_cast<BlockId>((byte_offset + done) / bs);
+    LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
+    std::memcpy(out + done, scratch.data(), length - done);
   }
   return Status::Ok();
 }
@@ -97,18 +118,36 @@ Status PagedFile::WriteBytes(std::uint64_t byte_offset, std::uint64_t length,
   const std::uint64_t bs = block_size();
   BlockBuffer scratch(bs);
   std::uint64_t done = 0;
-  while (done < length) {
-    const std::uint64_t pos = byte_offset + done;
-    const BlockId block = static_cast<BlockId>(pos / bs);
-    const std::uint64_t in_block = pos % bs;
-    const std::uint64_t chunk = std::min(length - done, bs - in_block);
-    if (chunk < bs) {
-      // Partial block: read-modify-write.
-      LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
-    }
+  // Partial head block: read-modify-write through the scratch buffer.
+  if (length > 0 && byte_offset % bs != 0) {
+    const BlockId block = static_cast<BlockId>(byte_offset / bs);
+    const std::uint64_t in_block = byte_offset % bs;
+    const std::uint64_t chunk = std::min(length, bs - in_block);
+    LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
     std::memcpy(scratch.data() + in_block, data + done, chunk);
     LIOD_RETURN_IF_ERROR(buffer_->WriteBlock(block, scratch.data()));
     done += chunk;
+  }
+  // Block-aligned middle: full blocks need no read-modify-write, so they go
+  // out as one batched submission straight from the caller's buffer.
+  const std::uint64_t full = (length - done) / bs;
+  if (full > 0) {
+    const BlockId first = static_cast<BlockId>((byte_offset + done) / bs);
+    std::vector<BlockId> ids(full);
+    std::vector<const std::byte*> datas(full);
+    for (std::uint64_t i = 0; i < full; ++i) {
+      ids[i] = first + static_cast<BlockId>(i);
+      datas[i] = data + done + i * bs;
+    }
+    LIOD_RETURN_IF_ERROR(buffer_->WriteBlocks(ids, datas));
+    done += full * bs;
+  }
+  // Partial tail block: read-modify-write.
+  if (done < length) {
+    const BlockId block = static_cast<BlockId>((byte_offset + done) / bs);
+    LIOD_RETURN_IF_ERROR(buffer_->ReadBlock(block, scratch.data()));
+    std::memcpy(scratch.data(), data + done, length - done);
+    LIOD_RETURN_IF_ERROR(buffer_->WriteBlock(block, scratch.data()));
   }
   return Status::Ok();
 }

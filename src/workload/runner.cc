@@ -47,6 +47,18 @@ double RunResult::LatencyPercentileUs(double q, const DiskModel& model) const {
   return latencies[idx];
 }
 
+double RunResult::WallPercentileUs(double q) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> latencies(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    latencies[i] = samples[i].cpu_us;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t idx = std::min(latencies.size() - 1,
+                                   static_cast<std::size_t>(q * latencies.size()));
+  return latencies[idx];
+}
+
 double RunResult::LatencyStdDevUs(const DiskModel& model) const {
   if (samples.empty()) return 0.0;
   double sum = 0.0, sum_sq = 0.0;

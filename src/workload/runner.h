@@ -50,6 +50,11 @@ struct RunResult {
   /// p-quantile (e.g. 0.99) of modeled per-op latency. Requires samples.
   double LatencyPercentileUs(double q, const DiskModel& model) const;
   double LatencyStdDevUs(const DiskModel& model) const;
+
+  /// p-quantile of MEASURED per-op wall time (each sample's cpu_us, which on
+  /// a real device -- file/direct -- includes the actual I/O time). The
+  /// wall-clock column beside the modeled one. Requires samples.
+  double WallPercentileUs(double q) const;
 };
 
 struct RunnerConfig {

@@ -13,6 +13,18 @@
 //            [--merge-threshold F]
 //            [--durability none|async|group-commit|sync-per-op]
 //            [--group-window N] [--checkpoint-every N] [--recover]
+//            [--device modeled|file|direct] [--device-path DIR]
+//            [--device-no-batch]
+//
+// --device selects the storage backend of every index file (and, with
+// --durability, the WAL/checkpoint files): "modeled" is the in-RAM simulated
+// disk behind all benchmarks; "file"/"direct" issue real syscalls (buffered /
+// O_DIRECT with batched submission) so the wall_us/wall_p50_us/wall_p999_us
+// CSV columns report measured I/O beside the modeled columns. Counted block
+// I/O is bit-identical across devices. --device-path defaults to a temporary
+// directory that is removed on exit; --device-no-batch issues one syscall per
+// block (the baseline that shows the batch path's syscall savings in
+// device.submissions).
 //
 // --buffer is the paper's per-file frame budget; --buffer-budget N > 0
 // switches to one shared pool of N frames across all files (and across all
@@ -36,12 +48,16 @@
 // the multi-threaded ConcurrentRunner; the defaults (1/1) keep the classic
 // single-index sequential path and its exact output format.
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -49,6 +65,7 @@
 #include <thread>
 
 #include "core/index_factory.h"
+#include "storage/device_factory.h"
 #include "engine/concurrent_runner.h"
 #include "engine/sharded_engine.h"
 #include "recovery/durable_store.h"
@@ -91,6 +108,9 @@ struct CliArgs {
   std::string disk = "both";
   bool csv = false;
   bool inner_in_memory = false;
+  std::string device = "modeled";  ///< --device: storage backend of all files
+  std::string device_path;         ///< --device-path: "" = temp dir, removed on exit
+  bool device_no_batch = false;    ///< --device-no-batch: one syscall per block
 
   // --- telemetry (all off by default; see src/telemetry/) ------------------
   std::string metrics_out;          ///< --metrics-out: final registry JSON
@@ -121,6 +141,10 @@ void Usage() {
       "           --durability none|async|group-commit|sync-per-op (WAL for the\n"
       "             buffered write path) --group-window OPS --checkpoint-every OPS\n"
       "           --recover (sequential mode: crash + rebuild demonstration)\n"
+      "           --device modeled|file|direct (storage backend; file/direct add\n"
+      "             wall-clock CSV columns with bit-identical counted I/O)\n"
+      "           --device-path DIR (real-device files; default: temp dir)\n"
+      "           --device-no-batch (one syscall per block; batch-savings baseline)\n"
       "           --metrics-out FILE (final metric-registry JSON)\n"
       "           --trace-out FILE (Chrome trace-event JSON; load in Perfetto)\n"
       "           --sample-out FILE --sample-every-ms N (periodic metrics CSV)\n"
@@ -141,6 +165,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->write_back = true;
     } else if (a == "--recover") {
       args->recover = true;
+    } else if (a == "--device-no-batch") {
+      args->device_no_batch = true;
     } else if (a == "--progress") {
       args->progress = true;
     } else if ((v = next()) == nullptr) {
@@ -190,6 +216,10 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->zipf_theta = std::strtod(v, nullptr);
     } else if (a == "--disk") {
       args->disk = v;
+    } else if (a == "--device") {
+      args->device = v;
+    } else if (a == "--device-path") {
+      args->device_path = v;
     } else if (a == "--metrics-out") {
       args->metrics_out = v;
     } else if (a == "--trace-out") {
@@ -417,6 +447,24 @@ int RunRecoveryDemo(const CliArgs& args, const IndexOptions& options, DurableSlo
   return 0;
 }
 
+/// The WAL/checkpoint slot honoring --device: real devices when the run uses
+/// them (WAL forces then ride the same batched submission path as data
+/// blocks), the plain in-memory slot otherwise. Null on device failure.
+std::unique_ptr<DurableSlot> MakeCliDurableSlot(const IndexOptions& options) {
+  if (EffectiveDeviceKind(options) == DeviceKind::kModeled) {
+    return std::make_unique<DurableSlot>(options.block_size);
+  }
+  std::unique_ptr<BlockDevice> wal_device, checkpoint_device;
+  const Status wal_status = MakeBlockDevice(options, "walstore", &wal_device);
+  const Status ckpt_status = MakeBlockDevice(options, "ckptstore", &checkpoint_device);
+  if (!wal_status.ok() || !ckpt_status.ok()) {
+    std::fprintf(stderr, "durable slot device failed: %s\n",
+                 (wal_status.ok() ? ckpt_status : wal_status).ToString().c_str());
+    return nullptr;
+  }
+  return std::make_unique<DurableSlot>(std::move(wal_device), std::move(checkpoint_device));
+}
+
 /// Classic path: one single-threaded index, the sequential runner, and the
 /// original output format.
 int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<Key>& keys,
@@ -424,8 +472,9 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
   // An external slot keeps the WAL/checkpoint devices alive across the
   // --recover demo's simulated crash; without --recover it is equivalent to
   // the decorator's private slot.
-  DurableSlot slot(options.block_size);
-  if (options.durability != DurabilityPolicy::kNone) options.durable_slot = &slot;
+  std::unique_ptr<DurableSlot> slot = MakeCliDurableSlot(options);
+  if (slot == nullptr) return 1;
+  if (options.durability != DurabilityPolicy::kNone) options.durable_slot = slot.get();
   auto index = MakeIndex(args.index, options);
   if (index == nullptr) {
     std::fprintf(stderr, "unknown index '%s'\n", args.index.c_str());
@@ -480,11 +529,12 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
     std::printf(
         "index,dataset,workload,disk,ops,tput_ops_s,reads_per_op,writes_per_op,"
         "p99_us,stddev_us,disk_mib,invalid_mib,height,smos,"
-        "hit_inner,hit_leaf,hit_overall,durability,wal_writes,p50_us,p999_us\n");
+        "hit_inner,hit_leaf,hit_overall,durability,wal_writes,p50_us,p999_us,"
+        "device,wall_us,wall_p50_us,wall_p999_us\n");
     for (const DiskModel& disk : disks) {
       std::printf(
           "%s,%s,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.1f,%.2f,%.2f,%llu,%llu,"
-          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f\n",
+          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f,%s,%.1f,%.2f,%.2f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(),
           disk.name.c_str(), static_cast<unsigned long long>(result.operations),
           result.ThroughputOps(disk),
@@ -498,9 +548,11 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
           result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate(),
           DurabilityPolicyName(options.durability),
           static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)),
-          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk));
+          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk),
+          DeviceKindName(EffectiveDeviceKind(options)), result.cpu_us,
+          result.WallPercentileUs(0.50), result.WallPercentileUs(0.999));
     }
-    if (args.recover) return RunRecoveryDemo(args, options, &slot, std::move(index), w);
+    if (args.recover) return RunRecoveryDemo(args, options, slot.get(), std::move(index), w);
     return 0;
   }
 
@@ -537,7 +589,7 @@ int RunSequential(const CliArgs& args, IndexOptions options, const std::vector<K
                 static_cast<unsigned long long>(
                     durable != nullptr ? durable->checkpoints_written() : 0));
   }
-  if (args.recover) return RunRecoveryDemo(args, options, &slot, std::move(index), w);
+  if (args.recover) return RunRecoveryDemo(args, options, slot.get(), std::move(index), w);
   return 0;
 }
 
@@ -612,11 +664,12 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
     std::printf(
         "index,dataset,workload,threads,shards,lock_mode,disk,ops,tput_ops_s,"
         "reads_per_op,writes_per_op,p99_us,disk_mib,height,smos,hit_inner,hit_leaf,"
-        "hit_overall,durability,wal_writes,p50_us,p999_us\n");
+        "hit_overall,durability,wal_writes,p50_us,p999_us,"
+        "device,wall_us,wall_p50_us,wall_p999_us\n");
     for (const DiskModel& disk : disks) {
       std::printf(
           "%s,%s,%s,%zu,%zu,%s,%s,%llu,%.2f,%.3f,%.3f,%.1f,%.2f,%llu,%llu,"
-          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f\n",
+          "%.3f,%.3f,%.3f,%s,%llu,%.1f,%.1f,%s,%.1f,%.2f,%.2f\n",
           args.index.c_str(), args.dataset.c_str(), args.workload.c_str(), args.threads,
           engine.num_shards(), ShardLockModeName(engine_options.shard_lock_mode),
           disk.name.c_str(),
@@ -630,7 +683,9 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
           result.io.HitRateFor(FileClass::kLeaf), result.io.OverallHitRate(),
           DurabilityPolicyName(options.durability),
           static_cast<unsigned long long>(result.io.WritesFor(FileClass::kWal)),
-          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk));
+          result.LatencyPercentileUs(0.50, disk), result.LatencyPercentileUs(0.999, disk),
+          DeviceKindName(EffectiveDeviceKind(options)), result.wall_us,
+          result.WallPercentileUs(0.50), result.WallPercentileUs(0.999));
     }
     return 0;
   }
@@ -714,6 +769,13 @@ int main(int argc, char** argv) {
   }
   options.wal_group_window = args.group_window;
   options.checkpoint_every_ops = args.checkpoint_every;
+  if (!DeviceKindFromName(args.device, &options.device)) {
+    std::fprintf(stderr, "unknown device '%s'\n", args.device.c_str());
+    Usage();
+    return 2;
+  }
+  options.device_path = args.device_path;
+  options.device_batching = !args.device_no_batch;
   if (args.recover && (args.threads > 1 || args.shards > 1)) {
     std::fprintf(stderr, "--recover supports the sequential path only (threads=shards=1)\n");
     return 2;
@@ -749,8 +811,30 @@ int main(int argc, char** argv) {
   options.metrics = telemetry.metrics.get();
   options.trace = telemetry.trace.get();
 
-  if (args.threads == 1 && args.shards == 1) {
-    return RunSequential(args, options, keys, spec, &telemetry);
+  // Real devices with no --device-path get a private temp directory, removed
+  // after the run (best effort; the files are scratch by definition).
+  std::string temp_device_dir;
+  if (EffectiveDeviceKind(options) != DeviceKind::kModeled &&
+      EffectiveDevicePath(options).empty()) {
+    char tmpl[] = "/tmp/liod_device_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "cannot create temp device dir: %s\n", std::strerror(errno));
+      return 1;
+    }
+    temp_device_dir = dir;
+    options.device_path = temp_device_dir;
   }
-  return RunEngine(args, options, keys, spec, &telemetry);
+
+  int rc;
+  if (args.threads == 1 && args.shards == 1) {
+    rc = RunSequential(args, options, keys, spec, &telemetry);
+  } else {
+    rc = RunEngine(args, options, keys, spec, &telemetry);
+  }
+  if (!temp_device_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(temp_device_dir, ec);
+  }
+  return rc;
 }
