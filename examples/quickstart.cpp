@@ -15,6 +15,8 @@
 #include <string>
 
 #include "core/index_factory.h"
+#include "kv/execute.h"
+#include "kv/request.h"
 #include "storage/device_factory.h"
 #include "storage/disk_model.h"
 #include "workload/datasets.h"
@@ -61,37 +63,36 @@ int main(int argc, char** argv) {
   std::printf("bulkloaded %zu records, on-disk size %.1f MiB\n", records.size(),
               index->GetIndexStats().disk_bytes / (1024.0 * 1024.0));
 
-  // 2. A point lookup, with its exact I/O cost.
+  // 2. Operations go through the unified KV request/response vocabulary: one
+  //    batch holding a lookup, an insert, and a 10-element scan, dispatched
+  //    through kv::ExecuteOnIndex (the same path the engine, runners, and
+  //    server use). Per-op outcomes land in the paired responses.
   index->io_stats().Reset();
-  Payload payload = 0;
-  bool found = false;
-  CheckOk(index->Lookup(records[4242].key, &payload, &found), "lookup");
-  std::printf("lookup key=%llu -> found=%d payload=%llu (%llu block reads)\n",
-              static_cast<unsigned long long>(records[4242].key), found,
-              static_cast<unsigned long long>(payload),
-              static_cast<unsigned long long>(index->io_stats().snapshot().TotalReads()));
+  kv::RequestBatch batch;
+  batch.AddLookup(records[4242].key);
+  batch.AddInsert(records[4242].key + 1, 777);  // hybrids are search-only
+  batch.AddScan(records[4242].key, 10);
+  batch.responses.resize(batch.requests.size());
+  (void)kv::ExecuteOnIndex(index.get(), batch.requests, batch.responses);
 
-  // 3. Inserts (hybrids are search-only, matching the paper's Section 6.1.2).
-  index->io_stats().Reset();
-  const Status insert_status = index->Insert(records[4242].key + 1, 777);
-  if (insert_status.ok()) {
-    const auto io = index->io_stats().snapshot();
-    std::printf("insert: %llu reads, %llu writes\n",
-                static_cast<unsigned long long>(io.TotalReads()),
-                static_cast<unsigned long long>(io.TotalWrites()));
-  } else {
-    std::printf("insert: %s\n", insert_status.ToString().c_str());
-  }
+  const kv::Response& lookup = batch.responses[0];
+  CheckOk(Status(lookup.code, "lookup"), "lookup");
+  std::printf("lookup key=%llu -> found=%d payload=%llu\n",
+              static_cast<unsigned long long>(records[4242].key), lookup.found,
+              static_cast<unsigned long long>(lookup.payload));
 
-  // 4. A 10-element range scan.
-  index->io_stats().Reset();
-  std::vector<Record> out;
-  CheckOk(index->Scan(records[4242].key, 10, &out), "scan");
-  std::printf("scan of 10 from key=%llu: %llu block reads; first keys:",
+  // 3. Insert outcome (hybrids reject writes, matching Section 6.1.2).
+  const kv::Response& insert = batch.responses[1];
+  std::printf("insert: %s\n", Status::CodeName(insert.code));
+
+  // 4. The scan's records ride back in its response slot.
+  const kv::Response& scan = batch.responses[2];
+  std::printf("scan of 10 from key=%llu: code=%s, %llu total block reads; first keys:",
               static_cast<unsigned long long>(records[4242].key),
+              Status::CodeName(scan.code),
               static_cast<unsigned long long>(index->io_stats().snapshot().TotalReads()));
-  for (std::size_t i = 0; i < out.size() && i < 4; ++i) {
-    std::printf(" %llu", static_cast<unsigned long long>(out[i].key));
+  for (std::size_t i = 0; i < scan.records.size() && i < 4; ++i) {
+    std::printf(" %llu", static_cast<unsigned long long>(scan.records[i].key));
   }
   std::printf(" ...\n");
 

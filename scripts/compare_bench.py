@@ -41,7 +41,7 @@ import sys
 
 KEY_COLUMNS = ("label", "index", "workload", "dataset", "disk", "device", "threads",
                "shards", "lock_mode", "durability", "buffer_blocks", "checkpoint_every",
-               "merge_mode", "merge_threshold")
+               "merge_mode", "merge_threshold", "clients", "batch")
 WRITES_EPSILON = 0.05  # writes/op; absolute slack for near-zero baselines
 
 

@@ -11,17 +11,55 @@ namespace liod {
 /// Lightweight error-return type (the project does not use exceptions on any
 /// index or storage path). Modeled on absl::Status, reduced to what the
 /// library needs.
+///
+/// The code taxonomy is a library-wide contract: every layer (indexes,
+/// storage, updates, recovery, engine, server) uses the same codes with the
+/// same meaning, and the KV wire protocol (src/server/protocol.h) transports
+/// the numeric code value 1:1, so remote clients see exactly the taxonomy
+/// below. Codes are therefore append-only -- never renumber an existing one.
 class Status {
  public:
   enum class Code {
+    /// Success. The only code for which ok() is true; message is empty.
     kOk = 0,
-    kInvalidArgument,
-    kNotFound,
-    kOutOfRange,
-    kIoError,
-    kCorruption,
-    kUnimplemented,
-    kFailedPrecondition,
+    /// The caller broke the API contract: malformed input that no retry will
+    /// fix (unsorted bulkload, zero-length scan, unknown enum name, malformed
+    /// protocol frame). Distinct from kUnimplemented: the request itself is
+    /// wrong, not merely unsupported by this configuration.
+    kInvalidArgument = 1,
+    /// The named entity does not exist. Expected in normal operation (a
+    /// lookup miss is kNotFound on the KV surface) -- callers must treat it
+    /// as an answer, not a failure; batch execution never aborts on it.
+    kNotFound = 2,
+    /// A position or capacity bound was exceeded (block id past end-of-file,
+    /// staging area over capacity). The operation was well-formed but asked
+    /// for something outside the structure's current extent.
+    kOutOfRange = 3,
+    /// A storage device failed (read/write/sync/grow syscall or simulated
+    /// fault). Generally not retryable within the process; recovery replays
+    /// the WAL after restart.
+    kIoError = 4,
+    /// Stored bytes are inconsistent (CRC mismatch, torn manifest, failed
+    /// answer verification). The data is wrong, not the request; surfaced so
+    /// callers never silently read garbage.
+    kCorruption = 5,
+    /// The operation is not supported by this index/configuration (e.g.
+    /// Insert/Delete on a search-only hybrid without an update buffer). A
+    /// different configuration of the same tree supports it.
+    kUnimplemented = 6,
+    /// The object is in the wrong state for the call (engine not bulkloaded,
+    /// Bulkload called twice, recovery without durability). The same call
+    /// can succeed after the required state change.
+    kFailedPrecondition = 7,
+    /// Server admission control shed this request: the bounded queue was
+    /// full. The request was NOT executed; it is safe (and expected) for the
+    /// client to retry after backing off. Never returned by the storage
+    /// layers -- this is the server front-end's load-shedding signal.
+    kOverloaded = 8,
+    /// The server is draining for shutdown and will not execute this
+    /// request. Like kOverloaded the request was NOT executed, but retrying
+    /// against the same endpoint will not help until the server restarts.
+    kShuttingDown = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -37,6 +75,8 @@ class Status {
   static Status FailedPrecondition(std::string m) {
     return Status(Code::kFailedPrecondition, std::move(m));
   }
+  static Status Overloaded(std::string m) { return Status(Code::kOverloaded, std::move(m)); }
+  static Status ShuttingDown(std::string m) { return Status(Code::kShuttingDown, std::move(m)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -47,9 +87,8 @@ class Status {
     return std::string(CodeName(code_)) + ": " + message_;
   }
 
-  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
-
- private:
+  /// Stable display name of a code ("NOT_FOUND", ...). Total: unknown values
+  /// (e.g. from a hostile wire peer) map to "UNKNOWN".
   static const char* CodeName(Code code) {
     switch (code) {
       case Code::kOk: return "OK";
@@ -60,10 +99,15 @@ class Status {
       case Code::kCorruption: return "CORRUPTION";
       case Code::kUnimplemented: return "UNIMPLEMENTED";
       case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case Code::kOverloaded: return "OVERLOADED";
+      case Code::kShuttingDown: return "SHUTTING_DOWN";
     }
     return "UNKNOWN";
   }
 
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
   Code code_;
   std::string message_;
 };

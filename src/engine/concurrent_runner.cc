@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "kv/request.h"
+
 namespace liod {
 
 namespace {
@@ -21,38 +23,26 @@ Status RunTape(ShardedEngine* engine, const std::vector<WorkloadOp>& ops,
   // Per-shard shared-latch I/O of THIS thread (stays all-zero under the
   // exclusive mode, where the engine never runs anything shared).
   out->shared_io.assign(engine->num_shards(), IoStatsSnapshot{});
-  std::vector<Record> scan_out;
+  // One reused single-request batch per tape: every op dispatches through
+  // ShardedEngine::Execute -- batch size 1 is the historical per-op path, so
+  // the tape's op interleaving and counted I/O are unchanged.
+  kv::RequestBatch batch;
+  batch.requests.resize(1);
+  batch.responses.resize(1);
   const auto tape_start = std::chrono::steady_clock::now();
   for (const WorkloadOp& op : ops) {
     IoStatsSnapshot delta;
     std::chrono::steady_clock::time_point op_start;
     if (config.record_samples) op_start = std::chrono::steady_clock::now();
-    switch (op.kind) {
-      case WorkloadOp::Kind::kLookup: {
-        Payload payload = 0;
-        bool found = false;
-        LIOD_RETURN_IF_ERROR(
-            engine->Lookup(op.key, &payload, &found, &delta, &out->shared_io));
-        if (config.check_lookups && !found) {
-          return Status::Corruption("concurrent lookup missed key " + std::to_string(op.key));
-        }
-        break;
-      }
-      case WorkloadOp::Kind::kInsert:
-        LIOD_RETURN_IF_ERROR(engine->Insert(op.key, op.payload, &delta));
-        break;
-      case WorkloadOp::Kind::kScan:
-        LIOD_RETURN_IF_ERROR(
-            engine->Scan(op.key, scan_length, &scan_out, &delta, &out->shared_io));
-        break;
-      case WorkloadOp::Kind::kReadModifyWrite: {
-        bool found = false;
-        LIOD_RETURN_IF_ERROR(engine->ReadModifyWrite(op.key, op.payload, &found, &delta));
-        if (config.check_lookups && !found) {
-          return Status::Corruption("concurrent RMW missed key " + std::to_string(op.key));
-        }
-        break;
-      }
+    batch.requests[0] = ToRequest(op, scan_length);
+    LIOD_RETURN_IF_ERROR(engine->Execute(batch, &delta, &out->shared_io));
+    if (config.check_lookups && !batch.responses[0].found &&
+        (op.kind == WorkloadOp::Kind::kLookup ||
+         op.kind == WorkloadOp::Kind::kReadModifyWrite)) {
+      return Status::Corruption(
+          (op.kind == WorkloadOp::Kind::kLookup ? "concurrent lookup missed key "
+                                                : "concurrent RMW missed key ") +
+          std::to_string(op.key));
     }
     out->io += delta;
     ++out->operations;

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "core/index_factory.h"
+#include "kv/execute.h"
+#include "recovery/recovery_manager.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_recorder.h"
 
@@ -18,6 +20,12 @@ double ElapsedUs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Hard failure = anything that is neither success nor a lookup miss (the
+/// batch-Status contract shared with kv::ExecuteOnIndex).
+bool IsHardFailure(Status::Code code) {
+  return code != Status::Code::kOk && code != Status::Code::kNotFound;
 }
 
 }  // namespace
@@ -152,14 +160,93 @@ Status ShardedEngine::Bulkload(std::span<const Record> records) {
   return Status::Ok();
 }
 
+Status ShardedEngine::RecoverFrom(DurableStore* store, std::span<const Record> records,
+                                  RecoverySummary* summary) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine: Bulkload/RecoverFrom already called");
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument("ShardedEngine::RecoverFrom: store must be non-null");
+  }
+  if (options_.index.durability == DurabilityPolicy::kNone) {
+    return Status::FailedPrecondition(
+        "ShardedEngine::RecoverFrom requires durability != kNone");
+  }
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].key <= records[i - 1].key) {
+      return Status::InvalidArgument(
+          "bulkload input must be sorted by strictly increasing key (violation at index " +
+          std::to_string(i) + ")");
+    }
+  }
+
+  // Cut points MUST be recomputed exactly as Bulkload computed them, so each
+  // recovered shard finds its own WAL/checkpoint in the matching store slot.
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min(options_.num_shards, std::max<std::size_t>(records.size(), 1)));
+
+  IndexOptions shard_options = options_.index;
+  if (options_.share_buffers_across_shards &&
+      shard_options.shared_buffer_budget_blocks > 0 &&
+      shard_options.shared_buffer_manager == nullptr) {
+    shared_buffers_ =
+        std::make_unique<BufferManager>(BufferManagerOptionsFrom(shard_options));
+    shard_options.shared_buffer_manager = shared_buffers_.get();
+  }
+  if (shard_options.durability == DurabilityPolicy::kGroupCommit &&
+      shard_options.group_commit == nullptr) {
+    group_commit_ = std::make_unique<GroupCommitWindow>(shard_options.wal_group_window);
+    shard_options.group_commit = group_commit_.get();
+  }
+
+  std::vector<std::size_t> cuts(num_shards + 1);
+  for (std::size_t i = 0; i <= num_shards; ++i) cuts[i] = i * records.size() / num_shards;
+  lower_bounds_.assign(1, kMinKey);
+  for (std::size_t i = 1; i < num_shards; ++i) {
+    lower_bounds_.push_back(records[cuts[i]].key);
+  }
+
+  RecoverySummary agg;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shard_options.durable_slot = store->slot(i);
+    if (shard_options.metrics != nullptr || shard_options.trace != nullptr) {
+      shard_options.metrics_prefix = "shard" + std::to_string(i) + ".";
+    }
+    RecoveryResult result;
+    const Status status =
+        RecoveryManager::Recover(store->slot(i), options_.index_name, shard_options,
+                                 records.subspan(cuts[i], cuts[i + 1] - cuts[i]), &result);
+    if (!status.ok()) {
+      shards_.clear();
+      lower_bounds_.clear();
+      shared_buffers_.reset();
+      group_commit_.reset();
+      return status;
+    }
+    agg.replayed_records += result.replayed_records;
+    agg.checkpoint_entries += result.checkpoint_entries;
+    agg.wal_blocks_read += result.wal_blocks_read;
+    agg.checkpoint_blocks_read += result.checkpoint_blocks_read;
+    agg.torn_tail = agg.torn_tail || result.torn_tail;
+    auto shard = std::make_unique<Shard>();
+    shard->index = std::move(result.index);
+    shards_.push_back(std::move(shard));
+  }
+  if (summary != nullptr) *summary = agg;
+  RegisterTelemetry();
+  return Status::Ok();
+}
+
 void ShardedEngine::RegisterTelemetry() {
   metrics_ = options_.index.metrics;
   trace_ = options_.index.trace;
   if (metrics_ == nullptr) return;
   lookup_us_id_ = metrics_->Histogram("engine.lookup_us");
   insert_us_id_ = metrics_->Histogram("engine.insert_us");
+  delete_us_id_ = metrics_->Histogram("engine.delete_us");
   rmw_us_id_ = metrics_->Histogram("engine.rmw_us");
   scan_us_id_ = metrics_->Histogram("engine.scan_us");
+  execute_us_id_ = metrics_->Histogram("engine.execute_us");
   lock_wait_us_id_ = metrics_->Histogram("engine.lock_wait_us");
   shard_metric_ids_.resize(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -167,6 +254,7 @@ void ShardedEngine::RegisterTelemetry() {
     ShardMetricIds& ids = shard_metric_ids_[i];
     ids.lookups = metrics_->Counter(prefix + "ops.lookup");
     ids.inserts = metrics_->Counter(prefix + "ops.insert");
+    ids.deletes = metrics_->Counter(prefix + "ops.delete");
     ids.rmws = metrics_->Counter(prefix + "ops.rmw");
     ids.scans = metrics_->Counter(prefix + "ops.scan");
     ids.lock_waits = metrics_->Counter(prefix + "lock_waits");
@@ -271,108 +359,342 @@ Status ShardedEngine::ReadOnShard(std::size_t s, IoStatsSnapshot* io,
   return Status::InvalidArgument("ShardedEngine: unknown shard_lock_mode");
 }
 
-// Each public op keeps a telemetry-off fast path that is byte-for-byte the
-// historical code (no clock reads, no extra branches inside the latch), so
-// the default configuration's timing and counted I/O are untouched. The
-// instrumented path wraps the SAME body -- telemetry observes the op, it
-// never changes what the op does.
+// ExecuteSingle keeps a telemetry-off fast path per kind that is
+// byte-for-byte the historical per-op code (no clock reads, no extra
+// branches inside the latch), so the default configuration's timing and
+// counted I/O are untouched. The instrumented path wraps the SAME body --
+// telemetry observes the op, it never changes what the op does.
+
+Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
+                                    IoStatsSnapshot* io,
+                                    std::vector<IoStatsSnapshot>* shared_io,
+                                    std::vector<Record>* scan_dest) {
+  resp->Reset();
+  switch (req.kind) {
+    case kv::OpKind::kLookup: {
+      const std::size_t s = ShardFor(req.key);
+      const auto op = [&](DiskIndex* index) {
+        return index->Lookup(req.key, &resp->payload, &resp->found);
+      };
+      Status status;
+      if (metrics_ == nullptr && trace_ == nullptr) {
+        status = ReadOnShard(s, io, shared_io, op);
+      } else {
+        TraceRecorder::Scope span(trace_, "lookup", "op", static_cast<int>(s));
+        const auto start = std::chrono::steady_clock::now();
+        status = ReadOnShard(s, io, shared_io, op);
+        if (metrics_ != nullptr) {
+          metrics_->Add(shard_metric_ids_[s].lookups);
+          metrics_->Observe(lookup_us_id_, ElapsedUs(start));
+        }
+      }
+      resp->code = !status.ok()
+                       ? status.code()
+                       : (resp->found ? Status::Code::kOk : Status::Code::kNotFound);
+      return status;
+    }
+    case kv::OpKind::kInsert: {
+      const std::size_t s = ShardFor(req.key);
+      Shard& shard = *shards_[s];
+      const auto run = [&] {
+        WriteGuard guard(shard);
+        const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+        const Status status = shard.index->Insert(req.key, req.payload);
+        if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+        return status;
+      };
+      Status status;
+      if (metrics_ == nullptr && trace_ == nullptr) {
+        status = run();
+      } else {
+        TraceRecorder::Scope span(trace_, "insert", "op", static_cast<int>(s));
+        const auto start = std::chrono::steady_clock::now();
+        status = run();
+        if (metrics_ != nullptr) {
+          metrics_->Add(shard_metric_ids_[s].inserts);
+          metrics_->Observe(insert_us_id_, ElapsedUs(start));
+        }
+      }
+      resp->code = status.code();
+      return status;
+    }
+    case kv::OpKind::kDelete: {
+      const std::size_t s = ShardFor(req.key);
+      Shard& shard = *shards_[s];
+      const auto run = [&] {
+        WriteGuard guard(shard);
+        const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+        const Status status = shard.index->Delete(req.key);
+        if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+        return status;
+      };
+      Status status;
+      if (metrics_ == nullptr && trace_ == nullptr) {
+        status = run();
+      } else {
+        TraceRecorder::Scope span(trace_, "delete", "op", static_cast<int>(s));
+        const auto start = std::chrono::steady_clock::now();
+        status = run();
+        if (metrics_ != nullptr) {
+          metrics_->Add(shard_metric_ids_[s].deletes);
+          metrics_->Observe(delete_us_id_, ElapsedUs(start));
+        }
+      }
+      resp->code = status.code();
+      return status;
+    }
+    case kv::OpKind::kReadModifyWrite: {
+      const std::size_t s = ShardFor(req.key);
+      Shard& shard = *shards_[s];
+      const auto run = [&] {
+        WriteGuard guard(shard);
+        const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+        Status status = shard.index->Lookup(req.key, &resp->payload, &resp->found);
+        if (status.ok()) status = shard.index->Insert(req.key, req.payload);
+        if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+        return status;
+      };
+      Status status;
+      if (metrics_ == nullptr && trace_ == nullptr) {
+        status = run();
+      } else {
+        TraceRecorder::Scope span(trace_, "rmw", "op", static_cast<int>(s));
+        const auto start = std::chrono::steady_clock::now();
+        status = run();
+        if (metrics_ != nullptr) {
+          metrics_->Add(shard_metric_ids_[s].rmws);
+          metrics_->Observe(rmw_us_id_, ElapsedUs(start));
+        }
+      }
+      resp->code = status.code();
+      return status;
+    }
+    case kv::OpKind::kScan: {
+      if (req.scan_count == 0) {
+        resp->code = Status::Code::kInvalidArgument;
+        return Status::InvalidArgument("scan_count must be > 0");
+      }
+      std::vector<Record>* out = scan_dest != nullptr ? scan_dest : &resp->records;
+      const std::size_t count = req.scan_count;
+      const std::size_t first = ShardFor(req.key);
+      const auto run = [&] {
+        out->clear();
+        std::vector<Record> part;
+        Key cursor = req.key;
+        // Shards are visited in increasing order and latched one at a time,
+        // so concurrent cross-shard scans cannot deadlock with each other or
+        // with point operations. The price is the relaxed cross-shard
+        // guarantee documented on the class: each per-shard segment is
+        // atomic, the stitched result is not a point-in-time snapshot of the
+        // whole engine.
+        for (std::size_t s = first; s < shards_.size() && out->size() < count; ++s) {
+          if (cursor < lower_bounds_[s]) cursor = lower_bounds_[s];
+          const Status status = ReadOnShard(s, io, shared_io, [&](DiskIndex* index) {
+            return index->Scan(cursor, count - out->size(), &part);
+          });
+          LIOD_RETURN_IF_ERROR(status);
+          out->insert(out->end(), part.begin(), part.end());
+        }
+        return Status::Ok();
+      };
+      Status status;
+      if (metrics_ == nullptr && trace_ == nullptr) {
+        status = run();
+      } else {
+        // One span for the whole stitched scan, tagged with the starting
+        // shard.
+        TraceRecorder::Scope span(trace_, "scan", "op", static_cast<int>(first));
+        const auto start = std::chrono::steady_clock::now();
+        status = run();
+        if (metrics_ != nullptr) {
+          metrics_->Add(shard_metric_ids_[first].scans);
+          metrics_->Observe(scan_us_id_, ElapsedUs(start));
+        }
+      }
+      resp->code = status.code();
+      return status;
+    }
+  }
+  resp->code = Status::Code::kInvalidArgument;
+  return Status::InvalidArgument("ShardedEngine: unknown op kind");
+}
+
+void ShardedEngine::CountOp(std::size_t s, kv::OpKind kind) {
+  const ShardMetricIds& ids = shard_metric_ids_[s];
+  switch (kind) {
+    case kv::OpKind::kLookup: metrics_->Add(ids.lookups); break;
+    case kv::OpKind::kInsert: metrics_->Add(ids.inserts); break;
+    case kv::OpKind::kDelete: metrics_->Add(ids.deletes); break;
+    case kv::OpKind::kScan: metrics_->Add(ids.scans); break;
+    case kv::OpKind::kReadModifyWrite: metrics_->Add(ids.rmws); break;
+  }
+}
+
+Status ShardedEngine::ContinueScan(std::size_t home, const kv::Request& req,
+                                   kv::Response* resp, IoStatsSnapshot* io,
+                                   std::vector<IoStatsSnapshot>* shared_io) {
+  std::vector<Record> part;
+  for (std::size_t s = home + 1;
+       s < shards_.size() && resp->records.size() < req.scan_count; ++s) {
+    const Key cursor = std::max(req.key, lower_bounds_[s]);
+    const Status status = ReadOnShard(s, io, shared_io, [&](DiskIndex* index) {
+      return index->Scan(cursor, req.scan_count - resp->records.size(), &part);
+    });
+    if (!status.ok()) {
+      resp->code = status.code();
+      return status;
+    }
+    resp->records.insert(resp->records.end(), part.begin(), part.end());
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::ExecuteBatch(kv::RequestBatch& batch, IoStatsSnapshot* io,
+                                   std::vector<IoStatsSnapshot>* shared_io) {
+  auto& reqs = batch.requests;
+  auto& resps = batch.responses;
+  TraceRecorder::Scope span(trace_, "execute", "op");
+  std::chrono::steady_clock::time_point start;
+  if (metrics_ != nullptr) start = std::chrono::steady_clock::now();
+
+  // Stable partition by owning shard: one (shard, request-index) pair per
+  // request, sorted by shard only, so within a shard the batch order is
+  // preserved and shards are visited in increasing order (the engine-wide
+  // deadlock-free latch order).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  order.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    order.emplace_back(static_cast<std::uint32_t>(ShardFor(reqs[i].key)),
+                       static_cast<std::uint32_t>(i));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Status first_failure;
+  std::vector<std::uint32_t> pending_scans;
+  for (std::size_t g = 0; g < order.size();) {
+    const std::uint32_t s = order[g].first;
+    std::size_t end = g;
+    bool has_write = false;
+    while (end < order.size() && order[end].first == s) {
+      has_write = has_write || kv::OpKindIsWrite(reqs[order[end].second].kind);
+      ++end;
+    }
+
+    // The whole group runs under ONE latch acquisition; each request still
+    // dispatches through kv::ExecuteOnIndex, the tree's single op switch.
+    const auto run_group = [&](DiskIndex* index) {
+      for (std::size_t k = g; k < end; ++k) {
+        const std::uint32_t i = order[k].second;
+        const Status status =
+            kv::ExecuteOnIndex(index, std::span<const kv::Request>(&reqs[i], 1),
+                               std::span<kv::Response>(&resps[i], 1));
+        if (first_failure.ok() && IsHardFailure(resps[i].code)) first_failure = status;
+        if (metrics_ != nullptr) CountOp(s, reqs[i].kind);
+      }
+      return Status::Ok();
+    };
+
+    if (has_write) {
+      // Any write in the group takes the shard exclusively for the whole
+      // group -- reads grouped with it execute under the same guard, and the
+      // writes' WAL appends tick the shared GroupCommitWindow so a batch of
+      // writes group-commits together.
+      Shard& shard = *shards_[s];
+      WriteGuard guard(shard);
+      const IoStatsSnapshot before = shard.index->io_stats().snapshot();
+      run_group(shard.index.get());
+      if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
+    } else {
+      const Status status = ReadOnShard(s, io, shared_io, run_group);
+      if (first_failure.ok() && !status.ok()) first_failure = status;
+    }
+
+    // Scans whose home-shard segment came up short continue across later
+    // shards after the partitioned pass (so they observe this batch's writes
+    // to those shards -- documented batch-visibility order).
+    for (std::size_t k = g; k < end; ++k) {
+      const std::uint32_t i = order[k].second;
+      if (reqs[i].kind == kv::OpKind::kScan && resps[i].code == Status::Code::kOk &&
+          resps[i].records.size() < reqs[i].scan_count &&
+          s + 1 < shards_.size()) {
+        pending_scans.push_back(i);
+      }
+    }
+    g = end;
+  }
+
+  for (const std::uint32_t i : pending_scans) {
+    const Status status =
+        ContinueScan(ShardFor(reqs[i].key), reqs[i], &resps[i], io, shared_io);
+    if (first_failure.ok() && !status.ok()) first_failure = status;
+  }
+
+  if (metrics_ != nullptr) metrics_->Observe(execute_us_id_, ElapsedUs(start));
+  return first_failure;
+}
+
+Status ShardedEngine::Execute(kv::RequestBatch& batch, IoStatsSnapshot* io,
+                              std::vector<IoStatsSnapshot>* shared_io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  batch.responses.resize(batch.requests.size());
+  if (batch.requests.empty()) return Status::Ok();
+  if (batch.requests.size() == 1) {
+    // Single-request fast path: no partitioning scratch, no batch span --
+    // identical code to the historical per-op methods. Both runners drive
+    // this path, which is what keeps the pre-redesign I/O pins bit-exact.
+    return ExecuteSingle(batch.requests[0], &batch.responses[0], io, shared_io, nullptr);
+  }
+  return ExecuteBatch(batch, io, shared_io);
+}
 
 Status ShardedEngine::Lookup(Key key, Payload* payload, bool* found, IoStatsSnapshot* io,
                              std::vector<IoStatsSnapshot>* shared_io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  const std::size_t s = ShardFor(key);
-  const auto op = [&](DiskIndex* index) { return index->Lookup(key, payload, found); };
-  if (metrics_ == nullptr && trace_ == nullptr) return ReadOnShard(s, io, shared_io, op);
-  TraceRecorder::Scope span(trace_, "lookup", "op", static_cast<int>(s));
-  const auto start = std::chrono::steady_clock::now();
-  const Status status = ReadOnShard(s, io, shared_io, op);
-  if (metrics_ != nullptr) {
-    metrics_->Add(shard_metric_ids_[s].lookups);
-    metrics_->Observe(lookup_us_id_, ElapsedUs(start));
-  }
+  const kv::Request req{kv::OpKind::kLookup, key, 0, 0};
+  kv::Response resp;
+  const Status status = ExecuteSingle(req, &resp, io, shared_io, nullptr);
+  if (payload != nullptr && resp.found) *payload = resp.payload;
+  if (found != nullptr) *found = resp.found;
   return status;
 }
 
 Status ShardedEngine::Insert(Key key, Payload payload, IoStatsSnapshot* io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  const std::size_t s = ShardFor(key);
-  Shard& shard = *shards_[s];
-  const auto run = [&] {
-    WriteGuard guard(shard);
-    const IoStatsSnapshot before = shard.index->io_stats().snapshot();
-    const Status status = shard.index->Insert(key, payload);
-    if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
-    return status;
-  };
-  if (metrics_ == nullptr && trace_ == nullptr) return run();
-  TraceRecorder::Scope span(trace_, "insert", "op", static_cast<int>(s));
-  const auto start = std::chrono::steady_clock::now();
-  const Status status = run();
-  if (metrics_ != nullptr) {
-    metrics_->Add(shard_metric_ids_[s].inserts);
-    metrics_->Observe(insert_us_id_, ElapsedUs(start));
-  }
-  return status;
+  const kv::Request req{kv::OpKind::kInsert, key, payload, 0};
+  kv::Response resp;
+  return ExecuteSingle(req, &resp, io, nullptr, nullptr);
+}
+
+Status ShardedEngine::Delete(Key key, IoStatsSnapshot* io) {
+  LIOD_RETURN_IF_ERROR(CheckReady());
+  const kv::Request req{kv::OpKind::kDelete, key, 0, 0};
+  kv::Response resp;
+  return ExecuteSingle(req, &resp, io, nullptr, nullptr);
 }
 
 Status ShardedEngine::ReadModifyWrite(Key key, Payload payload, bool* found,
                                       IoStatsSnapshot* io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  const std::size_t s = ShardFor(key);
-  Shard& shard = *shards_[s];
-  const auto run = [&] {
-    WriteGuard guard(shard);
-    const IoStatsSnapshot before = shard.index->io_stats().snapshot();
-    Payload current = 0;
-    Status status = shard.index->Lookup(key, &current, found);
-    if (status.ok()) status = shard.index->Insert(key, payload);
-    if (io != nullptr) *io += shard.index->io_stats().snapshot() - before;
-    return status;
-  };
-  if (metrics_ == nullptr && trace_ == nullptr) return run();
-  TraceRecorder::Scope span(trace_, "rmw", "op", static_cast<int>(s));
-  const auto start = std::chrono::steady_clock::now();
-  const Status status = run();
-  if (metrics_ != nullptr) {
-    metrics_->Add(shard_metric_ids_[s].rmws);
-    metrics_->Observe(rmw_us_id_, ElapsedUs(start));
-  }
+  const kv::Request req{kv::OpKind::kReadModifyWrite, key, payload, 0};
+  kv::Response resp;
+  const Status status = ExecuteSingle(req, &resp, io, nullptr, nullptr);
+  if (found != nullptr) *found = resp.found;
   return status;
 }
 
 Status ShardedEngine::Scan(Key start_key, std::size_t count, std::vector<Record>* out,
                            IoStatsSnapshot* io, std::vector<IoStatsSnapshot>* shared_io) {
   LIOD_RETURN_IF_ERROR(CheckReady());
-  const std::size_t first = ShardFor(start_key);
-  const auto run = [&] {
+  kv::Request req{kv::OpKind::kScan, start_key, 0, static_cast<std::uint32_t>(count)};
+  kv::Response resp;
+  if (count == 0) {
+    // Historical contract: a zero-length engine scan clears `out` and
+    // succeeds (only the wire/batch surface rejects it).
     out->clear();
-    std::vector<Record> part;
-    Key cursor = start_key;
-    // Shards are visited in increasing order and latched one at a time, so
-    // concurrent cross-shard scans cannot deadlock with each other or with
-    // point operations. The price is the relaxed cross-shard guarantee
-    // documented on the class: each per-shard segment is atomic, the stitched
-    // result is not a point-in-time snapshot of the whole engine.
-    for (std::size_t s = first; s < shards_.size() && out->size() < count; ++s) {
-      if (cursor < lower_bounds_[s]) cursor = lower_bounds_[s];
-      const Status status = ReadOnShard(s, io, shared_io, [&](DiskIndex* index) {
-        return index->Scan(cursor, count - out->size(), &part);
-      });
-      LIOD_RETURN_IF_ERROR(status);
-      out->insert(out->end(), part.begin(), part.end());
-    }
     return Status::Ok();
-  };
-  if (metrics_ == nullptr && trace_ == nullptr) return run();
-  // One span for the whole stitched scan, tagged with the starting shard.
-  TraceRecorder::Scope span(trace_, "scan", "op", static_cast<int>(first));
-  const auto start = std::chrono::steady_clock::now();
-  const Status status = run();
-  if (metrics_ != nullptr) {
-    metrics_->Add(shard_metric_ids_[first].scans);
-    metrics_->Observe(scan_us_id_, ElapsedUs(start));
   }
-  return status;
+  return ExecuteSingle(req, &resp, io, shared_io, out);
 }
 
 Status ShardedEngine::DropCaches() {

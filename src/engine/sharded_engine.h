@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/index.h"
+#include "kv/request.h"
 #include "recovery/durable_store.h"
 #include "recovery/wal_writer.h"
 #include "storage/io_stats.h"
@@ -83,8 +84,9 @@ struct EngineOptions {
 /// give under reader/writer latching in real DBMSs; a snapshot scan would
 /// need to latch all shards at once, serializing the engine.
 ///
-/// After Bulkload returns, Lookup/Insert/ReadModifyWrite/Scan and the merged
-/// stat readers are safe from any number of threads. Bulkload, DropCaches,
+/// After Bulkload (or RecoverFrom) returns, Execute and the per-op wrappers
+/// (Lookup/Insert/Delete/ReadModifyWrite/Scan) plus the merged stat readers
+/// are safe from any number of threads. Bulkload, RecoverFrom, DropCaches,
 /// and shard() are not thread-safe.
 class ShardedEngine {
  public:
@@ -100,6 +102,56 @@ class ShardedEngine {
   /// operation.
   Status Bulkload(std::span<const Record> records);
 
+  /// Aggregate recovery outcome of RecoverFrom, summed/or-ed across shards.
+  struct RecoverySummary {
+    std::uint64_t replayed_records = 0;
+    std::uint64_t checkpoint_entries = 0;
+    std::uint64_t wal_blocks_read = 0;
+    std::uint64_t checkpoint_blocks_read = 0;
+    bool torn_tail = false;
+  };
+
+  /// Crash-recovery alternative to Bulkload: rebuilds every shard from
+  /// `store`'s slot i (checkpoint + committed WAL tail, via RecoveryManager)
+  /// instead of bulkloading fresh indexes. `records` must be the ORIGINAL
+  /// bulkload set -- shard cut points are recomputed from it exactly as
+  /// Bulkload would, so shard i finds its own WAL in slot i. Requires
+  /// options().index.durability != kNone; like Bulkload, callable exactly
+  /// once. The recovered engine answers the committed prefix bit-equal to
+  /// the crashed one.
+  Status RecoverFrom(DurableStore* store, std::span<const Record> records,
+                     RecoverySummary* summary = nullptr);
+
+  /// THE batch entry point -- the one op-dispatch path of the tree. Resizes
+  /// batch.responses to batch.requests, partitions the requests by owning
+  /// shard, visits shards in increasing order (the engine-wide deadlock-free
+  /// latch order), and takes each shard's latch ONCE per batch: exclusively
+  /// when the shard's group contains any write (whose WAL appends ride the
+  /// shared GroupCommitWindow, so a batch of writes group-commits together),
+  /// under the configured read mode otherwise. Within a shard, requests
+  /// execute in batch order; across shards, shard order wins (documented
+  /// relaxation -- single-request batches are unaffected, and both runners
+  /// drive batch size 1, which keeps their op interleaving and counted I/O
+  /// bit-exact with the historical per-op calls).
+  ///
+  /// Scans that exhaust their home shard continue across subsequent shards
+  /// after the partitioned pass, one latch at a time (the same relaxed
+  /// cross-shard guarantee as before this API existed).
+  ///
+  /// Per-op outcomes land in batch.responses[i].code (lookup miss =>
+  /// kNotFound, never a batch failure). Like kv::ExecuteOnIndex, every
+  /// request is attempted; the returned Status is Ok unless some op hit a
+  /// hard failure, in which case the first such failure is returned after
+  /// the batch completes. `io`/`shared_io` accumulate the batch's exact
+  /// counted I/O as documented on Lookup.
+  Status Execute(kv::RequestBatch& batch, IoStatsSnapshot* io = nullptr,
+                 std::vector<IoStatsSnapshot>* shared_io = nullptr);
+
+  // The per-op methods below are thin wrappers that build a single-request
+  // batch and run it through the same dispatch as Execute -- kept because
+  // "look up one key" deserves a signature, not because they are a second
+  // path.
+
   /// Point lookup on the owning shard. When `io` is non-null, the exact
   /// block I/O this call performed is accumulated into it (per-thread I/O
   /// attribution for the concurrent runner): snapshot-delta under the
@@ -113,6 +165,11 @@ class ShardedEngine {
 
   /// Upsert on the owning shard (always exclusive).
   Status Insert(Key key, Payload payload, IoStatsSnapshot* io = nullptr);
+
+  /// Delete on the owning shard (always exclusive). kUnimplemented unless
+  /// the shard indexes carry an update buffer (IndexOptions::
+  /// update_buffer_blocks > 0 or durability != kNone).
+  Status Delete(Key key, IoStatsSnapshot* io = nullptr);
 
   /// YCSB-F read-modify-write: lookup then upsert, atomically under the
   /// owning shard's lock (always exclusive).
@@ -213,6 +270,24 @@ class ShardedEngine {
   /// blocking shared acquisition. The caller adopts the latch.
   void BlockingSharedAcquire(std::size_t s, Shard& shard);
 
+  /// Dispatches ONE request under the owning shard's latch with the
+  /// historical per-op telemetry and I/O attribution. Scan results go to
+  /// `scan_dest` when non-null (the Scan wrapper's caller-owned vector),
+  /// resp->records otherwise.
+  Status ExecuteSingle(const kv::Request& req, kv::Response* resp, IoStatsSnapshot* io,
+                       std::vector<IoStatsSnapshot>* shared_io,
+                       std::vector<Record>* scan_dest);
+  /// Multi-request path of Execute: shard-partitioned groups, one latch
+  /// acquisition per group, scan continuations after the partitioned pass.
+  Status ExecuteBatch(kv::RequestBatch& batch, IoStatsSnapshot* io,
+                      std::vector<IoStatsSnapshot>* shared_io);
+  /// Continues a scan whose home-shard segment came up short across shards
+  /// > `home`, one latch at a time (the relaxed cross-shard guarantee).
+  Status ContinueScan(std::size_t home, const kv::Request& req, kv::Response* resp,
+                      IoStatsSnapshot* io, std::vector<IoStatsSnapshot>* shared_io);
+  /// Bumps the per-shard op counter for `kind` (metrics_ must be non-null).
+  void CountOp(std::size_t s, kv::OpKind kind);
+
   /// Caches the telemetry escape hatches from options_.index and registers
   /// the engine's metrics (per-shard op/lock-wait counters, engine-level
   /// latency histograms, per-shard buffer gauges). Called at the end of a
@@ -226,6 +301,7 @@ class ShardedEngine {
   struct ShardMetricIds {
     std::size_t lookups = 0;     ///< counter: shard<s>.ops.lookup
     std::size_t inserts = 0;     ///< counter: shard<s>.ops.insert
+    std::size_t deletes = 0;     ///< counter: shard<s>.ops.delete
     std::size_t rmws = 0;        ///< counter: shard<s>.ops.rmw
     std::size_t scans = 0;       ///< counter: shard<s>.ops.scan
     std::size_t lock_waits = 0;  ///< counter: shard<s>.lock_waits
@@ -251,8 +327,10 @@ class ShardedEngine {
   /// Engine-level latency histograms (whole op including shard latching).
   std::size_t lookup_us_id_ = 0;     ///< engine.lookup_us
   std::size_t insert_us_id_ = 0;     ///< engine.insert_us
+  std::size_t delete_us_id_ = 0;     ///< engine.delete_us
   std::size_t rmw_us_id_ = 0;        ///< engine.rmw_us
   std::size_t scan_us_id_ = 0;       ///< engine.scan_us
+  std::size_t execute_us_id_ = 0;    ///< engine.execute_us (multi-request batches)
   std::size_t lock_wait_us_id_ = 0;  ///< engine.lock_wait_us
   /// Per-shard buffer gauges (RegisterBufferGauges), unregistered in the
   /// destructor before the shards -- and their IoStats -- are destroyed.

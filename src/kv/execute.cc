@@ -1,0 +1,84 @@
+#include "kv/execute.h"
+
+#include <string>
+
+namespace liod::kv {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kDelete: return "delete";
+    case OpKind::kScan: return "scan";
+    case OpKind::kReadModifyWrite: return "rmw";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Executes one request; returns the raw index Status (Ok for a lookup miss,
+/// which only the response code distinguishes).
+Status ExecuteOne(DiskIndex* index, const Request& req, Response* resp) {
+  switch (req.kind) {
+    case OpKind::kLookup: {
+      const Status status = index->Lookup(req.key, &resp->payload, &resp->found);
+      resp->code = !status.ok() ? status.code()
+                                : (resp->found ? Status::Code::kOk : Status::Code::kNotFound);
+      return status;
+    }
+    case OpKind::kInsert: {
+      const Status status = index->Insert(req.key, req.payload);
+      resp->code = status.code();
+      return status;
+    }
+    case OpKind::kDelete: {
+      const Status status = index->Delete(req.key);
+      resp->code = status.code();
+      return status;
+    }
+    case OpKind::kScan: {
+      if (req.scan_count == 0) {
+        resp->code = Status::Code::kInvalidArgument;
+        return Status::InvalidArgument("scan_count must be > 0");
+      }
+      const Status status = index->Scan(req.key, req.scan_count, &resp->records);
+      resp->code = status.code();
+      return status;
+    }
+    case OpKind::kReadModifyWrite: {
+      Status status = index->Lookup(req.key, &resp->payload, &resp->found);
+      if (status.ok()) status = index->Insert(req.key, req.payload);
+      resp->code = status.code();
+      return status;
+    }
+  }
+  resp->code = Status::Code::kInvalidArgument;
+  return Status::InvalidArgument("unknown op kind " +
+                                 std::to_string(static_cast<unsigned>(req.kind)));
+}
+
+/// Hard failure = anything that is neither success nor a lookup miss.
+bool IsHardFailure(Status::Code code) {
+  return code != Status::Code::kOk && code != Status::Code::kNotFound;
+}
+
+}  // namespace
+
+Status ExecuteOnIndex(DiskIndex* index, std::span<const Request> requests,
+                      std::span<Response> responses) {
+  if (requests.size() != responses.size()) {
+    return Status::InvalidArgument("ExecuteOnIndex: requests/responses size mismatch");
+  }
+  Status first_failure;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i].Reset();
+    const Status status = ExecuteOne(index, requests[i], &responses[i]);
+    if (first_failure.ok() && IsHardFailure(responses[i].code)) {
+      first_failure = status.ok() ? Status(responses[i].code, "") : status;
+    }
+  }
+  return first_failure;
+}
+
+}  // namespace liod::kv

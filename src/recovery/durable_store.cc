@@ -19,4 +19,11 @@ DurableSlot* DurableStore::slot(std::size_t i) {
   return slots_[i].get();
 }
 
+void DurableStore::InstallSlot(std::size_t i, std::unique_ptr<DurableSlot> slot) {
+  while (slots_.size() <= i) {
+    slots_.push_back(std::make_unique<DurableSlot>(block_size_));
+  }
+  slots_[i] = std::move(slot);
+}
+
 }  // namespace liod

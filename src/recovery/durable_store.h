@@ -80,6 +80,13 @@ class DurableStore {
   /// Returns slot `i`, creating in-memory slots up to it on first use.
   DurableSlot* slot(std::size_t i);
 
+  /// Installs a caller-built slot at position `i` (growing the store with
+  /// in-memory slots as needed), replacing whatever was there. The server
+  /// uses this to back shard i with stable on-disk WAL/checkpoint files that
+  /// a restarted process can reopen. Must happen before the engine takes the
+  /// slot pointer (Bulkload/RecoverFrom).
+  void InstallSlot(std::size_t i, std::unique_ptr<DurableSlot> slot);
+
   std::size_t size() const { return slots_.size(); }
 
  private:

@@ -1,0 +1,57 @@
+#include "server/kv_client.h"
+
+#include <unistd.h>
+
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace liod::server {
+
+KvClient::~KvClient() { Close(); }
+
+Status KvClient::ConnectUnix(const std::string& path) {
+  Close();
+  return liod::server::ConnectUnix(path, &fd_);
+}
+
+Status KvClient::ConnectTcp(const std::string& host, int port) {
+  Close();
+  return liod::server::ConnectTcp(host, port, &fd_);
+}
+
+void KvClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status KvClient::Send(std::uint32_t tag, std::span<const kv::Request> requests) {
+  if (fd_ < 0) return Status::FailedPrecondition("KvClient: not connected");
+  scratch_.clear();
+  std::vector<std::byte> body;
+  LIOD_RETURN_IF_ERROR(EncodeRequestBody(tag, requests, &body));
+  FrameBody(body, &scratch_);
+  return WriteAll(fd_, scratch_);
+}
+
+Status KvClient::Receive(std::uint32_t* tag, std::vector<kv::Response>* responses) {
+  if (fd_ < 0) return Status::FailedPrecondition("KvClient: not connected");
+  LIOD_RETURN_IF_ERROR(ReadFrameBody(fd_, kMaxFrameBytes, &scratch_));
+  return DecodeResponseBody(scratch_, tag, responses);
+}
+
+Status KvClient::Call(std::span<const kv::Request> requests,
+                      std::vector<kv::Response>* responses) {
+  const std::uint32_t tag = next_tag_++;
+  LIOD_RETURN_IF_ERROR(Send(tag, requests));
+  std::uint32_t got_tag = 0;
+  LIOD_RETURN_IF_ERROR(Receive(&got_tag, responses));
+  if (got_tag != tag) {
+    return Status::Corruption("KvClient: response tag mismatch (unsolicited pipelined "
+                              "frame on a synchronous connection)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace liod::server

@@ -1,0 +1,53 @@
+#ifndef LIOD_SERVER_KV_CLIENT_H_
+#define LIOD_SERVER_KV_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/request.h"
+
+namespace liod::server {
+
+/// Blocking client for the KvServer wire protocol. Not thread-safe; one
+/// client per thread (the loadgen model). Supports synchronous Call() and
+/// the split Send()/Receive() pair for per-connection pipelining -- tags are
+/// caller-chosen and echoed by the server, and pipelined responses may
+/// arrive out of submission order (match on the tag, not the position).
+class KvClient {
+ public:
+  KvClient() = default;
+  ~KvClient();
+
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  Status ConnectUnix(const std::string& path);
+  Status ConnectTcp(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round trip: sends `requests` as a single frame and blocks for its
+  /// response. Per-op outcomes are in `responses` (resized); the return
+  /// Status reflects transport/protocol health only -- an op-level error
+  /// (including kOverloaded/kShuttingDown rejections) is a SUCCESSFUL call
+  /// whose response codes carry the news.
+  Status Call(std::span<const kv::Request> requests,
+              std::vector<kv::Response>* responses);
+
+  /// Pipelining primitives: Send writes one tagged frame without waiting;
+  /// Receive blocks for the next response frame (whatever its tag).
+  Status Send(std::uint32_t tag, std::span<const kv::Request> requests);
+  Status Receive(std::uint32_t* tag, std::vector<kv::Response>* responses);
+
+ private:
+  int fd_ = -1;
+  std::uint32_t next_tag_ = 1;
+  std::vector<std::byte> scratch_;  ///< reused encode/decode buffer
+};
+
+}  // namespace liod::server
+
+#endif  // LIOD_SERVER_KV_CLIENT_H_

@@ -1,0 +1,330 @@
+#include "server/kv_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "server/net.h"
+#include "server/protocol.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_recorder.h"
+
+namespace liod::server {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Best-effort tag of a body that failed to decode: the tag is the first
+/// field, so even most malformed frames can be answered addressably.
+std::uint32_t SalvageTag(const std::vector<std::byte>& body) {
+  if (body.size() < 4) return 0;
+  std::uint32_t tag = 0;
+  for (int i = 0; i < 4; ++i) tag |= static_cast<std::uint32_t>(body[i]) << (8 * i);
+  return tag;
+}
+
+}  // namespace
+
+KvServer::KvServer(ShardedEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+KvServer::~KvServer() { Shutdown(); }
+
+Status KvServer::Start() {
+  if (started_) return Status::FailedPrecondition("KvServer already started");
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument("KvServer: no listener configured");
+  }
+  if (options_.workers == 0) {
+    return Status::InvalidArgument("KvServer: workers must be >= 1");
+  }
+  LIOD_RETURN_IF_ERROR(engine_->FlushBuffers());  // fail fast on a dead engine
+  if (options_.metrics != nullptr) {
+    queue_wait_us_id_ = options_.metrics->Histogram("server.queue_wait_us");
+    execute_us_id_ = options_.metrics->Histogram("server.execute_us");
+    connections_id_ = options_.metrics->Counter("server.connections");
+    ops_id_ = options_.metrics->Counter("server.ops");
+    overloaded_id_ = options_.metrics->Counter("server.batches_overloaded");
+    shutdown_rejected_id_ = options_.metrics->Counter("server.batches_shutdown_rejected");
+  }
+  if (!options_.unix_path.empty()) {
+    LIOD_RETURN_IF_ERROR(ListenUnix(options_.unix_path, &unix_fd_));
+  }
+  if (options_.tcp_port >= 0) {
+    const Status status =
+        ListenTcp(options_.tcp_host, options_.tcp_port, &tcp_fd_, &tcp_port_);
+    if (!status.ok()) {
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      unix_fd_ = -1;
+      return status;
+    }
+  }
+  started_ = true;
+  if (unix_fd_ >= 0) accept_threads_.emplace_back(&KvServer::AcceptLoop, this, unix_fd_);
+  if (tcp_fd_ >= 0) accept_threads_.emplace_back(&KvServer::AcceptLoop, this, tcp_fd_);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&KvServer::WorkerLoop, this);
+  }
+  return Status::Ok();
+}
+
+void KvServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (draining_) return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed or broken: stop accepting
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.connections_accepted;
+    }
+    if (options_.metrics != nullptr) options_.metrics->Add(connections_id_);
+    conn->reader = std::thread(&KvServer::ReaderLoop, this, conn);
+  }
+}
+
+void KvServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::byte> body;
+  for (;;) {
+    const Status read_status = ReadFrameBody(conn->fd, kMaxFrameBytes, &body);
+    if (!read_status.ok()) {
+      if (read_status.code() == Status::Code::kInvalidArgument) {
+        // Hostile length prefix: answer unaddressably (tag 0) then close --
+        // the stream cannot be re-synchronized past a bad length.
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.malformed_frames;
+        }
+        RespondRejection(conn.get(), 0, 1, Status::Code::kInvalidArgument);
+      }
+      break;  // clean EOF, truncated frame, or socket error: drop the conn
+    }
+    std::uint32_t tag = 0;
+    std::vector<kv::Request> requests;
+    const Status decode_status = DecodeRequestBody(body, &tag, &requests);
+    if (!decode_status.ok()) {
+      // Malformed body (garbage op kind, count mismatch, ...): the fuzz
+      // contract -- an error response, never a crash. The stream itself is
+      // still framed, so the connection survives.
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.malformed_frames;
+      }
+      RespondRejection(conn.get(), SalvageTag(body), 1, Status::Code::kInvalidArgument);
+      continue;
+    }
+
+    WorkItem item;
+    item.conn = conn;
+    item.tag = tag;
+    item.requests = std::move(requests);
+    item.enqueued = std::chrono::steady_clock::now();
+    const std::size_t op_count = item.requests.size();
+    Status::Code reject = Status::Code::kOk;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (draining_) {
+        reject = Status::Code::kShuttingDown;
+      } else if (queue_.size() >= options_.queue_capacity) {
+        reject = Status::Code::kOverloaded;
+      } else {
+        {
+          std::lock_guard<std::mutex> plock(conn->pending_mu);
+          ++conn->pending;
+        }
+        queue_.push_back(std::move(item));
+      }
+    }
+    if (reject == Status::Code::kOk) {
+      queue_cv_.notify_one();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      if (reject == Status::Code::kOverloaded) {
+        ++counters_.batches_overloaded;
+      } else {
+        ++counters_.batches_shutdown_rejected;
+      }
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add(reject == Status::Code::kOverloaded ? overloaded_id_
+                                                                : shutdown_rejected_id_);
+    }
+    RespondRejection(conn.get(), tag, op_count, reject);
+  }
+  // Let in-flight batches answer before the client sees EOF, then end the
+  // conversation. The fd itself is released in Shutdown (no fd-number reuse
+  // races with concurrent accepts).
+  {
+    std::unique_lock<std::mutex> lock(conn->pending_mu);
+    conn->pending_cv.wait(lock, [&] { return conn->pending == 0; });
+  }
+  ::shutdown(conn->fd, SHUT_WR);
+}
+
+void KvServer::WorkerLoop() {
+  kv::RequestBatch batch;
+  for (;;) {
+    WorkItem item;
+    bool drain_reject = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left to fail
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      // The shutdown-drain contract: a batch that was admitted but not yet
+      // started when Shutdown began is FAILED with kShuttingDown, not
+      // silently dropped and not executed (executing it would move the
+      // committed state after the checkpoint decision).
+      drain_reject = draining_;
+    }
+    if (drain_reject) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.batches_shutdown_rejected;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->Add(shutdown_rejected_id_);
+      }
+      RespondRejection(item.conn.get(), item.tag, item.requests.size(),
+                       Status::Code::kShuttingDown);
+      FinishPending(item.conn.get());
+      continue;
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->Observe(queue_wait_us_id_, ElapsedUs(item.enqueued));
+    }
+    TraceRecorder::Scope span(options_.trace, "dispatch", "net",
+                              static_cast<int>(item.requests.size()));
+    batch.requests = std::move(item.requests);
+    const auto start = std::chrono::steady_clock::now();
+    // Per-op outcomes land in the response codes; a hard batch failure is
+    // already reflected there too, so the wire answer is complete either way.
+    (void)engine_->Execute(batch);
+    if (options_.metrics != nullptr) {
+      options_.metrics->Observe(execute_us_id_, ElapsedUs(start));
+      options_.metrics->Add(ops_id_, batch.requests.size());
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.batches_executed;
+      counters_.ops_executed += batch.requests.size();
+    }
+    Respond(item.conn.get(), item.tag, batch.responses);
+    FinishPending(item.conn.get());
+  }
+}
+
+void KvServer::FinishPending(Connection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->pending_mu);
+    --conn->pending;
+  }
+  conn->pending_cv.notify_all();
+}
+
+void KvServer::Respond(Connection* conn, std::uint32_t tag,
+                       std::span<const kv::Response> responses) {
+  std::vector<std::byte> body;
+  if (!EncodeResponseBody(tag, responses, &body).ok()) return;
+  std::vector<std::byte> frame;
+  FrameBody(body, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  if (!WriteAll(conn->fd, frame).ok()) {
+    conn->closed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void KvServer::RespondRejection(Connection* conn, std::uint32_t tag,
+                                std::size_t op_count, Status::Code code) {
+  std::vector<std::byte> body;
+  EncodeRejectionBody(tag, op_count, code, &body);
+  std::vector<std::byte> frame;
+  FrameBody(body, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  if (!WriteAll(conn->fd, frame).ok()) {
+    conn->closed.store(true, std::memory_order_relaxed);
+  }
+}
+
+Status KvServer::Shutdown() {
+  if (!started_ || stopped_) return Status::Ok();
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  // Wake every worker NOW: they keep running through the reader joins below,
+  // answering queued batches with kShuttingDown so the readers' pending
+  // drains (a reader waits for its in-flight responses before exiting).
+  queue_cv_.notify_all();
+  // 1. Stop accepting: close the listeners, unblocking accept().
+  if (unix_fd_ >= 0) {
+    ::shutdown(unix_fd_, SHUT_RDWR);
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::shutdown(tcp_fd_, SHUT_RDWR);
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  // 2. Stop reading: shut down each connection's read side so its reader
+  //    sees EOF. Write sides stay open -- queued batches still get their
+  //    kShuttingDown responses.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  // 3. The workers have been draining since the notify above; they exit once
+  //    the queue is empty.
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  for (const auto& conn : conns) ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  // 4. Checkpoint through the engine: merge staged updates + checkpoint
+  //    (FlushUpdates), then sync WALs and write back dirty frames
+  //    (FlushBuffers). A restart with --recover replays an empty tail.
+  LIOD_RETURN_IF_ERROR(engine_->FlushUpdates());
+  return engine_->FlushBuffers();
+}
+
+ServerCounters KvServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+}  // namespace liod::server

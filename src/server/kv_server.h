@@ -1,0 +1,165 @@
+#ifndef LIOD_SERVER_KV_SERVER_H_
+#define LIOD_SERVER_KV_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sharded_engine.h"
+#include "kv/request.h"
+
+namespace liod {
+class MetricRegistry;
+class TraceRecorder;
+}  // namespace liod
+
+namespace liod::server {
+
+struct ServerOptions {
+  /// Unix-domain listen path (empty = no unix listener).
+  std::string unix_path;
+  /// TCP listen port (-1 = no TCP listener; 0 = ephemeral, see KvServer::
+  /// tcp_port()).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Worker threads executing batches against the engine.
+  std::size_t workers = 4;
+  /// Admission queue bound: batches queued beyond this are shed with
+  /// kOverloaded on every op (never executed, never blocked on).
+  std::size_t queue_capacity = 64;
+  /// Optional telemetry (server.* counters/histograms, "net" spans).
+  MetricRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+};
+
+/// Point-in-time admission/execution counters (tests and the CLI's exit
+/// report read these; they are maintained independently of MetricRegistry).
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t batches_executed = 0;
+  std::uint64_t ops_executed = 0;
+  std::uint64_t batches_overloaded = 0;      ///< shed by the full queue
+  std::uint64_t batches_shutdown_rejected = 0;  ///< failed during drain
+  std::uint64_t malformed_frames = 0;
+};
+
+/// Socket front-end over one ShardedEngine: length-prefixed binary frames
+/// (server/protocol.h) over unix-domain and/or TCP sockets.
+///
+/// Threading: one accept thread per listener, one reader thread per
+/// connection, `workers` executor threads behind ONE bounded admission
+/// queue. Readers decode frames and try to enqueue; a full queue sheds the
+/// batch with an immediate all-ops kOverloaded response (admission control
+/// fails fast -- it never blocks the reader, so a flooding client gets
+/// backpressure as explicit rejections, not a hang). Workers pop batches,
+/// run ShardedEngine::Execute -- requests from ALL connections share the
+/// engine's shard latches, and a multi-op frame takes each latch once -- and
+/// write the response under the connection's write lock (pipelined batches
+/// may complete out of order; the frame tag lets the client re-match).
+///
+/// Shutdown() drains gracefully: listeners close, connection read sides shut
+/// down (in-flight reads see EOF), and every batch still queued is answered
+/// kShuttingDown by the draining workers -- never silently dropped (a
+/// response or a clean EOF is guaranteed for every accepted frame). After
+/// the workers join, the engine is checkpointed (FlushUpdates) and its WAL
+/// synced (FlushBuffers), so a subsequent start with --recover replays
+/// nothing and answers the full committed history.
+class KvServer {
+ public:
+  /// `engine` must be bulkloaded/recovered and outlive the server.
+  KvServer(ShardedEngine* engine, ServerOptions options);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Binds the configured listeners and spawns accept/worker threads.
+  Status Start();
+
+  /// Graceful drain as documented above. Idempotent. Returns the first
+  /// flush/checkpoint error.
+  Status Shutdown();
+
+  /// Actual TCP port (after Start, when tcp_port was 0).
+  int tcp_port() const { return tcp_port_; }
+
+  ServerCounters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;  ///< serializes response frames
+    std::thread reader;
+    std::atomic<bool> closed{false};
+    /// Batches admitted for this connection but not yet responded to. The
+    /// reader waits for it to drain before ending the conversation, so every
+    /// accepted frame's response is written before the client sees EOF.
+    std::mutex pending_mu;
+    std::condition_variable pending_cv;
+    std::size_t pending = 0;
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    std::uint32_t tag = 0;
+    std::vector<kv::Request> requests;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WorkerLoop();
+  /// Encodes and writes one response frame under conn->write_mu. Write
+  /// errors mark the connection closed (the peer hung up; nothing to do).
+  void Respond(Connection* conn, std::uint32_t tag,
+               std::span<const kv::Response> responses);
+  void RespondRejection(Connection* conn, std::uint32_t tag, std::size_t op_count,
+                        Status::Code code);
+  /// Decrements conn->pending and wakes its reader's drain wait.
+  void FinishPending(Connection* conn);
+
+  ShardedEngine* engine_;
+  ServerOptions options_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  /// Set under queue_mu_ at the start of Shutdown: readers stop admitting
+  /// (kShuttingDown), workers fail what is already queued.
+  bool draining_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+
+  // Telemetry ids (valid only when options_.metrics != nullptr).
+  std::size_t queue_wait_us_id_ = 0;
+  std::size_t execute_us_id_ = 0;
+  std::size_t connections_id_ = 0;
+  std::size_t ops_id_ = 0;
+  std::size_t overloaded_id_ = 0;
+  std::size_t shutdown_rejected_id_ = 0;
+};
+
+}  // namespace liod::server
+
+#endif  // LIOD_SERVER_KV_SERVER_H_

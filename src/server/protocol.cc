@@ -1,0 +1,203 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <string>
+
+namespace liod::server {
+
+namespace {
+
+void PutU8(std::uint8_t v, std::vector<std::byte>* out) {
+  out->push_back(static_cast<std::byte>(v));
+}
+
+void PutU32(std::uint32_t v, std::vector<std::byte>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::uint64_t v, std::vector<std::byte>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+/// Bounds-checked little-endian reader over one body span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  bool GetU8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(std::uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(std::uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("protocol: truncated ") + what);
+}
+
+}  // namespace
+
+Status EncodeRequestBody(std::uint32_t tag, std::span<const kv::Request> requests,
+                         std::vector<std::byte>* out) {
+  if (requests.size() > kMaxBatchOps) {
+    return Status::InvalidArgument("protocol: batch of " + std::to_string(requests.size()) +
+                                   " ops exceeds kMaxBatchOps");
+  }
+  std::uint64_t total_scan = 0;
+  for (const kv::Request& req : requests) total_scan += req.scan_count;
+  if (total_scan > kMaxScanCount) {
+    return Status::InvalidArgument("protocol: batch scan volume " +
+                                   std::to_string(total_scan) + " exceeds kMaxScanCount");
+  }
+  PutU32(tag, out);
+  PutU32(static_cast<std::uint32_t>(requests.size()), out);
+  for (const kv::Request& req : requests) {
+    PutU8(static_cast<std::uint8_t>(req.kind), out);
+    PutU32(req.scan_count, out);
+    PutU64(req.key, out);
+    PutU64(req.payload, out);
+  }
+  return Status::Ok();
+}
+
+Status DecodeRequestBody(std::span<const std::byte> body, std::uint32_t* tag,
+                         std::vector<kv::Request>* requests) {
+  Reader r(body);
+  std::uint32_t op_count = 0;
+  if (!r.GetU32(tag) || !r.GetU32(&op_count)) return Truncated("request header");
+  if (op_count > kMaxBatchOps) {
+    return Status::InvalidArgument("protocol: batch of " + std::to_string(op_count) +
+                                   " ops exceeds kMaxBatchOps");
+  }
+  requests->clear();
+  requests->reserve(op_count);
+  std::uint64_t total_scan = 0;
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    std::uint8_t kind = 0;
+    kv::Request req;
+    if (!r.GetU8(&kind) || !r.GetU32(&req.scan_count) || !r.GetU64(&req.key) ||
+        !r.GetU64(&req.payload)) {
+      return Truncated("request op");
+    }
+    if (!kv::OpKindValid(kind)) {
+      return Status::InvalidArgument("protocol: unknown op kind " + std::to_string(kind));
+    }
+    req.kind = static_cast<kv::OpKind>(kind);
+    if (req.kind == kv::OpKind::kScan) {
+      if (req.scan_count == 0 || req.scan_count > kMaxScanCount) {
+        return Status::InvalidArgument("protocol: scan_count " +
+                                       std::to_string(req.scan_count) + " out of range");
+      }
+      total_scan += req.scan_count;
+      if (total_scan > kMaxScanCount) {
+        return Status::InvalidArgument("protocol: batch scan volume exceeds kMaxScanCount");
+      }
+    }
+    requests->push_back(req);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("protocol: request body has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+Status EncodeResponseBody(std::uint32_t tag, std::span<const kv::Response> responses,
+                          std::vector<std::byte>* out) {
+  if (responses.size() > kMaxBatchOps) {
+    return Status::InvalidArgument("protocol: response batch exceeds kMaxBatchOps");
+  }
+  PutU32(tag, out);
+  PutU32(static_cast<std::uint32_t>(responses.size()), out);
+  for (const kv::Response& resp : responses) {
+    PutU8(static_cast<std::uint8_t>(resp.code), out);
+    PutU8(resp.found ? 1 : 0, out);
+    PutU64(resp.payload, out);
+    PutU32(static_cast<std::uint32_t>(resp.records.size()), out);
+    for (const Record& rec : resp.records) {
+      PutU64(rec.key, out);
+      PutU64(rec.payload, out);
+    }
+  }
+  return Status::Ok();
+}
+
+Status DecodeResponseBody(std::span<const std::byte> body, std::uint32_t* tag,
+                          std::vector<kv::Response>* responses) {
+  Reader r(body);
+  std::uint32_t op_count = 0;
+  if (!r.GetU32(tag) || !r.GetU32(&op_count)) return Truncated("response header");
+  if (op_count > kMaxBatchOps) {
+    return Status::InvalidArgument("protocol: response batch exceeds kMaxBatchOps");
+  }
+  responses->clear();
+  responses->resize(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    kv::Response& resp = (*responses)[i];
+    std::uint8_t code = 0;
+    std::uint8_t found = 0;
+    std::uint32_t record_count = 0;
+    if (!r.GetU8(&code) || !r.GetU8(&found) || !r.GetU64(&resp.payload) ||
+        !r.GetU32(&record_count)) {
+      return Truncated("response op");
+    }
+    // Codes transport 1:1; an unknown byte from a newer peer stays numeric.
+    resp.code = static_cast<Status::Code>(code);
+    resp.found = found != 0;
+    if (record_count > kMaxScanCount) {
+      return Status::InvalidArgument("protocol: response record count out of range");
+    }
+    resp.records.resize(record_count);
+    for (std::uint32_t k = 0; k < record_count; ++k) {
+      if (!r.GetU64(&resp.records[k].key) || !r.GetU64(&resp.records[k].payload)) {
+        return Truncated("response record");
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("protocol: response body has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+void FrameBody(std::span<const std::byte> body, std::vector<std::byte>* out) {
+  out->reserve(out->size() + 4 + body.size());
+  PutU32(static_cast<std::uint32_t>(body.size()), out);
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+void EncodeRejectionBody(std::uint32_t tag, std::size_t op_count, Status::Code code,
+                         std::vector<std::byte>* out) {
+  PutU32(tag, out);
+  PutU32(static_cast<std::uint32_t>(op_count), out);
+  for (std::size_t i = 0; i < op_count; ++i) {
+    PutU8(static_cast<std::uint8_t>(code), out);
+    PutU8(0, out);
+    PutU64(0, out);
+    PutU32(0, out);
+  }
+}
+
+}  // namespace liod::server

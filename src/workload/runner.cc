@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "kv/execute.h"
+#include "kv/request.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_recorder.h"
 
@@ -108,7 +110,11 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
   if (config.before_ops) config.before_ops();
   const IoStatsSnapshot before_ops = index->io_stats().snapshot();
   const auto ops_start = std::chrono::steady_clock::now();
-  std::vector<Record> scan_out;
+  // One reused single-slot request/response pair: every op goes through
+  // kv::ExecuteOnIndex, the tree's one dispatch path, with no per-op
+  // allocation (Response::Reset keeps the scan buffer's capacity).
+  kv::Request request;
+  kv::Response response;
   IoStatsSnapshot op_before;
   for (const WorkloadOp& op : workload.ops) {
     const std::size_t kind = KindIndex(op.kind);
@@ -116,32 +122,16 @@ Status RunWorkload(DiskIndex* index, const Workload& workload, const RunnerConfi
     std::chrono::steady_clock::time_point op_start;
     if (config.record_samples) op_before = index->io_stats().snapshot();
     if (time_ops) op_start = std::chrono::steady_clock::now();
-    switch (op.kind) {
-      case WorkloadOp::Kind::kLookup: {
-        Payload payload = 0;
-        bool found = false;
-        LIOD_RETURN_IF_ERROR(index->Lookup(op.key, &payload, &found));
-        if (config.check_lookups && !found) {
-          return Status::Corruption("workload lookup missed key " + std::to_string(op.key));
-        }
-        break;
-      }
-      case WorkloadOp::Kind::kInsert:
-        LIOD_RETURN_IF_ERROR(index->Insert(op.key, op.payload));
-        break;
-      case WorkloadOp::Kind::kScan:
-        LIOD_RETURN_IF_ERROR(index->Scan(op.key, workload.scan_length, &scan_out));
-        break;
-      case WorkloadOp::Kind::kReadModifyWrite: {
-        Payload payload = 0;
-        bool found = false;
-        LIOD_RETURN_IF_ERROR(index->Lookup(op.key, &payload, &found));
-        if (config.check_lookups && !found) {
-          return Status::Corruption("workload RMW missed key " + std::to_string(op.key));
-        }
-        LIOD_RETURN_IF_ERROR(index->Insert(op.key, op.payload));
-        break;
-      }
+    request = ToRequest(op, workload.scan_length);
+    LIOD_RETURN_IF_ERROR(kv::ExecuteOnIndex(index, std::span<const kv::Request>(&request, 1),
+                                            std::span<kv::Response>(&response, 1)));
+    if (config.check_lookups && !response.found &&
+        (op.kind == WorkloadOp::Kind::kLookup ||
+         op.kind == WorkloadOp::Kind::kReadModifyWrite)) {
+      return Status::Corruption(
+          (op.kind == WorkloadOp::Kind::kLookup ? "workload lookup missed key "
+                                                : "workload RMW missed key ") +
+          std::to_string(op.key));
     }
     double op_us = 0.0;
     if (time_ops) op_us = ElapsedUs(op_start);

@@ -344,4 +344,27 @@ Workload BuildWorkload(const std::vector<Key>& dataset_keys, const WorkloadSpec&
   return w;
 }
 
+kv::Request ToRequest(const WorkloadOp& op, std::size_t scan_length) {
+  kv::Request req;
+  req.key = op.key;
+  switch (op.kind) {
+    case WorkloadOp::Kind::kLookup:
+      req.kind = kv::OpKind::kLookup;
+      break;
+    case WorkloadOp::Kind::kInsert:
+      req.kind = kv::OpKind::kInsert;
+      req.payload = op.payload;
+      break;
+    case WorkloadOp::Kind::kScan:
+      req.kind = kv::OpKind::kScan;
+      req.scan_count = static_cast<std::uint32_t>(scan_length);
+      break;
+    case WorkloadOp::Kind::kReadModifyWrite:
+      req.kind = kv::OpKind::kReadModifyWrite;
+      req.payload = op.payload;
+      break;
+  }
+  return req;
+}
+
 }  // namespace liod

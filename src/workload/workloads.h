@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "kv/request.h"
 
 namespace liod {
 
@@ -104,6 +105,11 @@ Workload BuildWorkload(const std::vector<Key>& dataset_keys, const WorkloadSpec&
 ConcurrentWorkload BuildConcurrentWorkload(const std::vector<Key>& dataset_keys,
                                            const WorkloadSpec& spec,
                                            std::size_t num_threads);
+
+/// The kv::Request equivalent of one workload op (scans carry the workload's
+/// scan_length). Both runners translate their tapes through this, so the
+/// tape vocabulary and the unified KV vocabulary cannot drift apart.
+kv::Request ToRequest(const WorkloadOp& op, std::size_t scan_length);
 
 }  // namespace liod
 

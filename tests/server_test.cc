@@ -1,0 +1,604 @@
+// The socket front-end (src/server/): protocol round trips, the
+// malformed-frame fuzz contract (error response or clean close -- never a
+// crash), admission-control shedding (kOverloaded, not a hang), the
+// shutdown-drain contract (queued batches answered kShuttingDown, never
+// silently dropped -- a TSan target), and the end-to-end
+// serve/shutdown/recover cycle answering the committed history bit-equal.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/sharded_engine.h"
+#include "kv/request.h"
+#include "recovery/durable_store.h"
+#include "server/kv_client.h"
+#include "server/kv_server.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace liod {
+namespace {
+
+using testing_util::RacingThreads;
+using testing_util::ToRecords;
+using testing_util::UniformKeys;
+
+std::string TestSocketPath(const std::string& name) {
+  return "/tmp/liod_srv_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+EngineOptions ServerEngineOptions(std::size_t shards) {
+  EngineOptions options;
+  options.index_name = "btree";
+  options.num_shards = shards;
+  return options;
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(ProtocolTest, RequestBodyRoundTrips) {
+  std::vector<kv::Request> requests;
+  requests.push_back({kv::OpKind::kLookup, 42, 0, 0});
+  requests.push_back({kv::OpKind::kInsert, 7, 999, 0});
+  requests.push_back({kv::OpKind::kDelete, 1, 0, 0});
+  requests.push_back({kv::OpKind::kScan, 100, 0, 64});
+  requests.push_back({kv::OpKind::kReadModifyWrite, ~0ULL, ~0ULL, 0});
+
+  std::vector<std::byte> body;
+  ASSERT_TRUE(server::EncodeRequestBody(0xdeadbeef, requests, &body).ok());
+  EXPECT_EQ(body.size(), 8 + requests.size() * server::kRequestOpBytes);
+
+  std::uint32_t tag = 0;
+  std::vector<kv::Request> decoded;
+  ASSERT_TRUE(server::DecodeRequestBody(body, &tag, &decoded).ok());
+  EXPECT_EQ(tag, 0xdeadbeefu);
+  EXPECT_EQ(decoded, requests);
+}
+
+TEST(ProtocolTest, ResponseBodyRoundTrips) {
+  std::vector<kv::Response> responses(3);
+  responses[0].code = Status::Code::kOk;
+  responses[0].found = true;
+  responses[0].payload = 123;
+  responses[1].code = Status::Code::kNotFound;
+  responses[2].code = Status::Code::kOk;
+  responses[2].records = {{10, 11}, {20, 21}, {30, 31}};
+
+  std::vector<std::byte> body;
+  ASSERT_TRUE(server::EncodeResponseBody(77, responses, &body).ok());
+
+  std::uint32_t tag = 0;
+  std::vector<kv::Response> decoded;
+  ASSERT_TRUE(server::DecodeResponseBody(body, &tag, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(tag, 77u);
+  EXPECT_EQ(decoded[0].code, Status::Code::kOk);
+  EXPECT_TRUE(decoded[0].found);
+  EXPECT_EQ(decoded[0].payload, 123u);
+  EXPECT_EQ(decoded[1].code, Status::Code::kNotFound);
+  ASSERT_EQ(decoded[2].records.size(), 3u);
+  EXPECT_EQ(decoded[2].records[1].key, 20u);
+  EXPECT_EQ(decoded[2].records[1].payload, 21u);
+}
+
+TEST(ProtocolTest, DecodeRejectsMalformedBodies) {
+  std::vector<kv::Request> requests = {{kv::OpKind::kLookup, 42, 0, 0}};
+  std::vector<std::byte> good;
+  ASSERT_TRUE(server::EncodeRequestBody(1, requests, &good).ok());
+
+  std::uint32_t tag = 0;
+  std::vector<kv::Request> decoded;
+
+  // Truncated: too short for the header, too short for the declared ops,
+  // trailing garbage after the declared ops.
+  std::vector<std::byte> body(good.begin(), good.begin() + 4);
+  EXPECT_EQ(server::DecodeRequestBody(body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+  body.assign(good.begin(), good.end() - 1);
+  EXPECT_EQ(server::DecodeRequestBody(body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+  body = good;
+  body.push_back(std::byte{0});
+  EXPECT_EQ(server::DecodeRequestBody(body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+
+  // Garbage op kind (the byte after tag+count).
+  body = good;
+  body[8] = std::byte{0x7f};
+  EXPECT_EQ(server::DecodeRequestBody(body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+
+  // Zero scan_count on a scan op: encodes (the summed-volume check cannot
+  // see it) but the decoder rejects it before execution.
+  requests = {{kv::OpKind::kScan, 42, 0, 0}};
+  std::vector<std::byte> scan_body;
+  ASSERT_TRUE(server::EncodeRequestBody(1, requests, &scan_body).ok());
+  EXPECT_EQ(server::DecodeRequestBody(scan_body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+
+  // Oversized single scan.
+  requests = {{kv::OpKind::kScan, 42, 0, server::kMaxScanCount + 1}};
+  scan_body.clear();
+  EXPECT_FALSE(server::EncodeRequestBody(1, requests, &scan_body).ok());
+
+  // Scan volume summed across the frame is capped too.
+  requests.assign(3, {kv::OpKind::kScan, 42, 0, server::kMaxScanCount / 2});
+  scan_body.clear();
+  EXPECT_FALSE(server::EncodeRequestBody(1, requests, &scan_body).ok());
+
+  // Oversized batch.
+  requests.assign(server::kMaxBatchOps + 1, {kv::OpKind::kLookup, 1, 0, 0});
+  scan_body.clear();
+  EXPECT_FALSE(server::EncodeRequestBody(1, requests, &scan_body).ok());
+}
+
+TEST(ProtocolTest, RejectionBodyDecodesAsAllOpsSameCode) {
+  std::vector<std::byte> body;
+  server::EncodeRejectionBody(9, 4, Status::Code::kOverloaded, &body);
+  std::uint32_t tag = 0;
+  std::vector<kv::Response> decoded;
+  ASSERT_TRUE(server::DecodeResponseBody(body, &tag, &decoded).ok());
+  EXPECT_EQ(tag, 9u);
+  ASSERT_EQ(decoded.size(), 4u);
+  for (const kv::Response& r : decoded) {
+    EXPECT_EQ(r.code, Status::Code::kOverloaded);
+  }
+}
+
+TEST(ProtocolTest, StatusCodesTransportOneToOne) {
+  // The wire carries Status::Code numeric values; every taxonomy member must
+  // survive a response round trip unchanged.
+  for (Status::Code code :
+       {Status::Code::kOk, Status::Code::kNotFound, Status::Code::kInvalidArgument,
+        Status::Code::kOutOfRange, Status::Code::kCorruption, Status::Code::kIoError,
+        Status::Code::kUnimplemented, Status::Code::kFailedPrecondition,
+        Status::Code::kOverloaded, Status::Code::kShuttingDown}) {
+    std::vector<kv::Response> responses(1);
+    responses[0].code = code;
+    std::vector<std::byte> body;
+    ASSERT_TRUE(server::EncodeResponseBody(0, responses, &body).ok());
+    std::uint32_t tag = 0;
+    std::vector<kv::Response> decoded;
+    ASSERT_TRUE(server::DecodeResponseBody(body, &tag, &decoded).ok());
+    EXPECT_EQ(decoded[0].code, code);
+  }
+}
+
+// --- server fixture ---------------------------------------------------------
+
+/// Engine + server on a unix socket, torn down in order.
+struct ServerHarness {
+  explicit ServerHarness(const std::string& name, std::size_t shards = 2,
+                         std::size_t workers = 2, std::size_t queue = 16,
+                         EngineOptions engine_options_in = {})
+      : path(TestSocketPath(name)) {
+    EngineOptions engine_options = std::move(engine_options_in);
+    engine_options.index_name = "btree";
+    engine_options.num_shards = shards;
+    records = ToRecords(UniformKeys(2000, 23));
+    engine = std::make_unique<ShardedEngine>(engine_options);
+    EXPECT_TRUE(engine->Bulkload(records).ok());
+    server::ServerOptions options;
+    options.unix_path = path;
+    options.workers = workers;
+    options.queue_capacity = queue;
+    server = std::make_unique<server::KvServer>(engine.get(), options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  ~ServerHarness() {
+    server.reset();
+    ::unlink(path.c_str());
+  }
+
+  std::string path;
+  std::vector<Record> records;
+  std::unique_ptr<ShardedEngine> engine;
+  std::unique_ptr<server::KvServer> server;
+};
+
+// --- end-to-end client/server -----------------------------------------------
+
+TEST(KvServerTest, CallRoundTripsMixedOps) {
+  ServerHarness harness("roundtrip");
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+
+  kv::RequestBatch batch;
+  batch.AddLookup(harness.records[10].key);
+  batch.AddLookup(harness.records[10].key + 1);  // miss
+  batch.AddInsert(harness.records[20].key, 777);
+  batch.AddLookup(harness.records[20].key);
+  batch.AddScan(harness.records[30].key, 5);
+  std::vector<kv::Response> responses;
+  ASSERT_TRUE(client.Call(batch.requests, &responses).ok());
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(responses[0].code, Status::Code::kOk);
+  EXPECT_EQ(responses[0].payload, harness.records[10].payload);
+  EXPECT_EQ(responses[1].code, Status::Code::kNotFound);
+  EXPECT_EQ(responses[2].code, Status::Code::kOk);
+  EXPECT_EQ(responses[3].payload, 777u);
+  ASSERT_EQ(responses[4].records.size(), 5u);
+  EXPECT_EQ(responses[4].records[0].key, harness.records[30].key);
+
+  // The server executed through the engine, not a copy: the insert is
+  // visible engine-side.
+  Payload payload = 0;
+  bool found = false;
+  ASSERT_TRUE(harness.engine->Lookup(harness.records[20].key, &payload, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(payload, 777u);
+}
+
+TEST(KvServerTest, TcpListenerServesOnEphemeralPort) {
+  EngineOptions engine_options = ServerEngineOptions(2);
+  const auto records = ToRecords(UniformKeys(500, 29));
+  ShardedEngine engine(engine_options);
+  ASSERT_TRUE(engine.Bulkload(records).ok());
+  server::ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  server::KvServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.tcp_port()).ok());
+  kv::RequestBatch batch;
+  batch.AddLookup(records[0].key);
+  std::vector<kv::Response> responses;
+  ASSERT_TRUE(client.Call(batch.requests, &responses).ok());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].found);
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+TEST(KvServerTest, PipelinedFramesRematchByTag) {
+  // Queue deeper than the in-flight window: this test is about tag
+  // re-matching, so nothing may be shed even when workers run slowly
+  // (e.g. under TSan).
+  ServerHarness harness("pipeline", /*shards=*/2, /*workers=*/4, /*queue=*/64);
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+
+  // Fire 32 tagged frames without waiting, then collect 32 responses in
+  // whatever order the workers finished them.
+  constexpr std::uint32_t kFrames = 32;
+  for (std::uint32_t t = 1; t <= kFrames; ++t) {
+    std::vector<kv::Request> requests = {
+        {kv::OpKind::kLookup, harness.records[t].key, 0, 0}};
+    ASSERT_TRUE(client.Send(t, requests).ok());
+  }
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    std::uint32_t tag = 0;
+    std::vector<kv::Response> responses;
+    ASSERT_TRUE(client.Receive(&tag, &responses).ok());
+    ASSERT_GE(tag, 1u);
+    ASSERT_LE(tag, kFrames);
+    EXPECT_TRUE(seen.insert(tag).second) << "duplicate response tag " << tag;
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].payload, harness.records[tag].payload);
+  }
+  EXPECT_EQ(seen.size(), kFrames);
+}
+
+// --- malformed-frame fuzz ---------------------------------------------------
+
+/// Sends raw bytes on a fresh connection; returns the connected fd.
+int RawConnect(const std::string& path) {
+  int fd = -1;
+  EXPECT_TRUE(server::ConnectUnix(path, &fd).ok());
+  return fd;
+}
+
+TEST(KvServerFuzzTest, GarbageOpKindGetsErrorResponseAndConnectionSurvives) {
+  ServerHarness harness("fuzz_kind");
+  const int fd = RawConnect(harness.path);
+
+  // A structurally valid frame whose single op kind is garbage.
+  std::vector<kv::Request> requests = {{kv::OpKind::kLookup, 42, 0, 0}};
+  std::vector<std::byte> body;
+  ASSERT_TRUE(server::EncodeRequestBody(5, requests, &body).ok());
+  body[8] = std::byte{0xee};  // op kind byte
+  std::vector<std::byte> frame;
+  server::FrameBody(body, &frame);
+  ASSERT_TRUE(server::WriteAll(fd, frame).ok());
+
+  std::vector<std::byte> response_body;
+  ASSERT_TRUE(server::ReadFrameBody(fd, server::kMaxFrameBytes, &response_body).ok());
+  std::uint32_t tag = 0;
+  std::vector<kv::Response> responses;
+  ASSERT_TRUE(server::DecodeResponseBody(response_body, &tag, &responses).ok());
+  EXPECT_EQ(tag, 5u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].code, Status::Code::kInvalidArgument);
+
+  // The stream is still framed: the same connection serves a good request.
+  body.clear();
+  frame.clear();
+  ASSERT_TRUE(server::EncodeRequestBody(6, requests, &body).ok());
+  server::FrameBody(body, &frame);
+  ASSERT_TRUE(server::WriteAll(fd, frame).ok());
+  ASSERT_TRUE(server::ReadFrameBody(fd, server::kMaxFrameBytes, &response_body).ok());
+  ASSERT_TRUE(server::DecodeResponseBody(response_body, &tag, &responses).ok());
+  EXPECT_EQ(tag, 6u);
+  ::close(fd);
+  EXPECT_GE(harness.server->counters().malformed_frames, 1u);
+}
+
+TEST(KvServerFuzzTest, OversizedLengthPrefixAnswersThenCloses) {
+  ServerHarness harness("fuzz_len");
+  const int fd = RawConnect(harness.path);
+
+  // Length prefix far beyond kMaxFrameBytes: the stream cannot be
+  // re-synchronized, so the contract is an unaddressable error then close.
+  const std::uint32_t huge = server::kMaxFrameBytes + 1;
+  std::vector<std::byte> prefix(4);
+  std::memcpy(prefix.data(), &huge, 4);
+  ASSERT_TRUE(server::WriteAll(fd, prefix).ok());
+
+  std::vector<std::byte> response_body;
+  ASSERT_TRUE(server::ReadFrameBody(fd, server::kMaxFrameBytes, &response_body).ok());
+  std::uint32_t tag = 0;
+  std::vector<kv::Response> responses;
+  ASSERT_TRUE(server::DecodeResponseBody(response_body, &tag, &responses).ok());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].code, Status::Code::kInvalidArgument);
+  // ... then EOF (clean close, reported as kNotFound by ReadFrameBody).
+  EXPECT_EQ(server::ReadFrameBody(fd, server::kMaxFrameBytes, &response_body).code(),
+            Status::Code::kNotFound);
+  ::close(fd);
+
+  // The server survived: a new connection works.
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+  kv::RequestBatch batch;
+  batch.AddLookup(harness.records[0].key);
+  std::vector<kv::Response> out;
+  ASSERT_TRUE(client.Call(batch.requests, &out).ok());
+}
+
+TEST(KvServerFuzzTest, TruncatedPrefixAndRandomGarbageNeverKillTheServer) {
+  ServerHarness harness("fuzz_rand");
+
+  // Truncated length prefix: write 2 bytes and hang up.
+  {
+    const int fd = RawConnect(harness.path);
+    std::vector<std::byte> partial = {std::byte{0x10}, std::byte{0x00}};
+    ASSERT_TRUE(server::WriteAll(fd, partial).ok());
+    ::close(fd);
+  }
+
+  // Deterministic seeded garbage: arbitrary lengths, arbitrary bytes. Some
+  // will parse as (wrong but valid) frames, most will not; none may crash or
+  // wedge the server.
+  Rng rng(20230817);
+  for (int round = 0; round < 50; ++round) {
+    const int fd = RawConnect(harness.path);
+    const std::size_t len = 1 + rng.NextBounded(256);
+    std::vector<std::byte> junk(len);
+    for (auto& b : junk) b = static_cast<std::byte>(rng.NextBounded(256));
+    (void)server::WriteAll(fd, junk);  // peer may have already closed on us
+    ::close(fd);
+  }
+
+  // Still serving after the barrage.
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+  kv::RequestBatch batch;
+  batch.AddLookup(harness.records[1].key);
+  std::vector<kv::Response> out;
+  ASSERT_TRUE(client.Call(batch.requests, &out).ok());
+  EXPECT_TRUE(out[0].found);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(KvServerTest, FloodShedsWithOverloadedNotAHang) {
+  // One worker, queue bound 1: pipelined expensive frames MUST overflow the
+  // queue, and the overflow answer is an immediate all-ops kOverloaded frame
+  // written by the reader -- the client never blocks waiting for admission.
+  ServerHarness harness("overload", /*shards=*/1, /*workers=*/1, /*queue=*/1);
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+
+  constexpr std::uint32_t kFrames = 64;
+  std::vector<kv::Request> expensive;
+  for (int i = 0; i < 16; ++i) {
+    expensive.push_back({kv::OpKind::kScan, harness.records[0].key, 0, 1024});
+  }
+  for (std::uint32_t t = 1; t <= kFrames; ++t) {
+    ASSERT_TRUE(client.Send(t, expensive).ok());
+  }
+  std::size_t overloaded = 0, executed = 0;
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    std::uint32_t tag = 0;
+    std::vector<kv::Response> responses;
+    ASSERT_TRUE(client.Receive(&tag, &responses).ok());
+    EXPECT_TRUE(seen.insert(tag).second);
+    ASSERT_EQ(responses.size(), expensive.size());
+    if (responses[0].code == Status::Code::kOverloaded) {
+      // Shed frames are all-ops rejections.
+      for (const kv::Response& r : responses) {
+        EXPECT_EQ(r.code, Status::Code::kOverloaded);
+      }
+      ++overloaded;
+    } else {
+      EXPECT_EQ(responses[0].code, Status::Code::kOk);
+      ++executed;
+    }
+  }
+  // Every frame was answered exactly once; under a 1-deep queue the flood
+  // cannot have been absorbed without shedding.
+  EXPECT_EQ(seen.size(), kFrames);
+  EXPECT_GE(overloaded, 1u);
+  EXPECT_GE(executed, 1u);
+  const server::ServerCounters counters = harness.server->counters();
+  EXPECT_EQ(counters.batches_overloaded, overloaded);
+  EXPECT_EQ(counters.batches_executed, executed);
+}
+
+// --- shutdown drain (TSan target) -------------------------------------------
+
+TEST(KvServerStressTest, ShutdownDrainAnswersEveryAcceptedFrame) {
+  // M clients pipeline batches while the main thread shuts the server down
+  // mid-flight. The contract under race: every frame the server accepted is
+  // answered -- executed, kOverloaded, or kShuttingDown -- before its
+  // connection sees EOF; nothing hangs; nothing is silently dropped. Client
+  // threads tally what they saw and the tallies must reconcile with the
+  // server's counters exactly.
+  ServerHarness harness("drain", /*shards=*/2, /*workers=*/2, /*queue=*/8);
+
+  std::atomic<std::uint64_t> executed{0}, shutdown_rejected{0}, overloaded{0};
+  constexpr std::size_t kClients = 4;
+  RacingThreads clients;
+  clients.StartN(kClients, [&](std::size_t c, const std::atomic<bool>& stop) -> Status {
+    server::KvClient client;
+    LIOD_RETURN_IF_ERROR(client.ConnectUnix(harness.path));
+    std::vector<kv::Request> requests;
+    for (int i = 0; i < 4; ++i) {
+      requests.push_back(
+          {kv::OpKind::kLookup, harness.records[(c * 31 + i) % 2000].key, 0, 0});
+    }
+    std::uint32_t sent = 0, received = 0;
+    Status pump;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Keep up to 8 frames in flight.
+      while (sent - received < 8) {
+        pump = client.Send(++sent, requests);
+        if (!pump.ok()) break;
+      }
+      if (!pump.ok()) break;
+      std::uint32_t tag = 0;
+      std::vector<kv::Response> responses;
+      pump = client.Receive(&tag, &responses);
+      if (!pump.ok()) break;
+      ++received;
+      if (responses.empty()) return Status::Corruption("empty response frame");
+      switch (responses[0].code) {
+        case Status::Code::kShuttingDown: ++shutdown_rejected; break;
+        case Status::Code::kOverloaded: ++overloaded; break;
+        default: ++executed; break;
+      }
+    }
+    // After the shutdown races in, the only legal ends of the conversation
+    // are a transport error (kIoError: send raced the read-side shutdown) or
+    // a clean EOF (kNotFound) -- and EOF may only arrive after every
+    // admitted frame was answered. Drain what is still in the pipe.
+    for (;;) {
+      std::uint32_t tag = 0;
+      std::vector<kv::Response> responses;
+      const Status status = client.Receive(&tag, &responses);
+      if (!status.ok()) break;
+      ++received;
+      if (responses.empty()) return Status::Corruption("empty response frame");
+      switch (responses[0].code) {
+        case Status::Code::kShuttingDown: ++shutdown_rejected; break;
+        case Status::Code::kOverloaded: ++overloaded; break;
+        default: ++executed; break;
+      }
+    }
+    if (received > sent) return Status::Corruption("more responses than requests");
+    return Status::Ok();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(harness.server->Shutdown().ok());
+  clients.RequestStop();
+  ASSERT_TRUE(clients.JoinAll().ok());
+
+  const server::ServerCounters counters = harness.server->counters();
+  // Reconciliation: what clients observed is exactly what the server did.
+  // A response written into a connection the client already abandoned cannot
+  // happen here -- clients drain to EOF -- so the counts match 1:1.
+  EXPECT_EQ(counters.batches_executed, executed.load());
+  EXPECT_EQ(counters.batches_shutdown_rejected, shutdown_rejected.load());
+  EXPECT_EQ(counters.batches_overloaded, overloaded.load());
+  EXPECT_GT(counters.batches_executed, 0u);
+}
+
+// --- serve / shutdown / recover ---------------------------------------------
+
+TEST(KvServerRecoveryTest, CommittedHistorySurvivesRestart) {
+  // The full cycle the CLI's serve/--recover implements, in-process: clients
+  // write through the server, graceful shutdown checkpoints, a second engine
+  // recovers from the same durable store, and every key answers bit-equal to
+  // the live engine that took the writes.
+  const auto records = ToRecords(UniformKeys(2000, 31));
+  EngineOptions engine_options = ServerEngineOptions(3);
+  engine_options.index.durability = DurabilityPolicy::kGroupCommit;
+  engine_options.index.wal_group_window = 4;
+  DurableStore store(engine_options.index.block_size);
+  engine_options.durable_store = &store;
+
+  ShardedEngine engine(engine_options);
+  ASSERT_TRUE(engine.Bulkload(records).ok());
+  const std::string path = TestSocketPath("recover");
+  server::ServerOptions server_options;
+  server_options.unix_path = path;
+  server_options.workers = 3;
+  server::KvServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // 3 client threads, YCSB-A-style 50/50 read/update mix over the loaded
+  // set, all acknowledged before shutdown.
+  RacingThreads clients;
+  clients.StartN(3, [&](std::size_t c, const std::atomic<bool>&) -> Status {
+    server::KvClient client;
+    LIOD_RETURN_IF_ERROR(client.ConnectUnix(path));
+    Rng rng(1000 + c);
+    kv::RequestBatch batch;
+    std::vector<kv::Response> responses;
+    for (int i = 0; i < 500; ++i) {
+      batch.Clear();
+      const Key key = records[rng.NextBounded(records.size())].key;
+      if (i % 2 == 0) {
+        batch.AddInsert(key, key + 31 + c);
+      } else {
+        batch.AddLookup(key);
+      }
+      LIOD_RETURN_IF_ERROR(client.Call(batch.requests, &responses));
+      if (responses[0].code != Status::Code::kOk &&
+          responses[0].code != Status::Code::kNotFound) {
+        return Status(responses[0].code, "unexpected op failure");
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(clients.JoinAll().ok());
+  ASSERT_TRUE(server.Shutdown().ok());
+  ::unlink(path.c_str());
+
+  // Recover a second engine from the store the first one logged into.
+  EngineOptions recovered_options = engine_options;
+  ShardedEngine recovered(recovered_options);
+  ShardedEngine::RecoverySummary summary;
+  ASSERT_TRUE(recovered.RecoverFrom(&store, records, &summary).ok());
+  EXPECT_FALSE(summary.torn_tail);
+
+  // Bit-equal committed answers across the entire keyspace.
+  for (const Record& r : records) {
+    Payload live_payload = 0, rec_payload = 0;
+    bool live_found = false, rec_found = false;
+    ASSERT_TRUE(engine.Lookup(r.key, &live_payload, &live_found).ok());
+    ASSERT_TRUE(recovered.Lookup(r.key, &rec_payload, &rec_found).ok());
+    ASSERT_EQ(live_found, rec_found) << "key " << r.key;
+    ASSERT_EQ(live_payload, rec_payload) << "key " << r.key;
+  }
+}
+
+}  // namespace
+}  // namespace liod

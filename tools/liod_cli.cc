@@ -1,9 +1,18 @@
-// liod_cli: run any index x dataset x workload combination from the command
-// line and report throughput, exact block I/O, phase breakdown, tail
-// latency, and storage footprint. The general-purpose driver behind the
+// liod_cli: the tree's command-line front door, with three subcommands:
+//
+//   liod_cli run   [flags]   -- benchmark an index x dataset x workload combo
+//   liod_cli serve [flags]   -- socket KV server over a ShardedEngine
+//   liod_cli recover [flags] -- `run` with the crash-recovery demo forced on
+//
+// A bare invocation (first argument is a --flag) still works as the historical
+// `run` with identical flags and output, printing a deprecation note to
+// stderr; every script written against the old interface keeps running.
+//
+// run/recover report throughput, exact block I/O, phase breakdown, tail
+// latency, and storage footprint -- the general-purpose driver behind the
 // per-figure benchmarks.
 //
-//   liod_cli --index alex --dataset fb --workload balanced
+//   liod_cli run --index alex --dataset fb --workload balanced
 //            --bulk 100000 --ops 100000 [--block 4096] [--buffer 1]
 //            [--buffer-policy lru|clock|fifo] [--buffer-budget N]
 //            [--write-back] [--disk hdd|ssd|both] [--csv]
@@ -47,7 +56,22 @@
 // With --threads/--shards > 1 execution routes through the ShardedEngine and
 // the multi-threaded ConcurrentRunner; the defaults (1/1) keep the classic
 // single-index sequential path and its exact output format.
+//
+// `serve` bulkloads --dataset/--bulk records (payload = key + 1) into a
+// ShardedEngine with the same engine flags as run, then serves the binary KV
+// protocol (src/server/protocol.h) until SIGINT/SIGTERM:
+//
+//   liod_cli serve --listen unix:/tmp/liod.sock|tcp:PORT [--workers N]
+//            [--queue N] [--wal-dir DIR] [--recover] [engine flags]
+//
+// --wal-dir gives the per-shard WAL/checkpoint files stable paths
+// (DIR/shard<i>.wal, DIR/shard<i>.ckpt) so a restarted `serve --recover`
+// reopens them and rebuilds the committed state before listening; without it
+// durability is priced but not restart-recoverable. Shutdown drains the
+// admission queue (queued batches answered SHUTTING_DOWN) and checkpoints
+// through the engine before exiting.
 
+#include <signal.h>
 #include <stdlib.h>
 
 #include <algorithm>
@@ -70,6 +94,8 @@
 #include "engine/sharded_engine.h"
 #include "recovery/durable_store.h"
 #include "recovery/recovery_manager.h"
+#include "server/kv_server.h"
+#include "storage/block_device.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/sampler.h"
 #include "telemetry/trace_recorder.h"
@@ -118,11 +144,21 @@ struct CliArgs {
   std::string sample_out;           ///< --sample-out: periodic time-series CSV
   std::size_t sample_every_ms = 0;  ///< --sample-every-ms (0 = 100 when sampling)
   bool progress = false;            ///< --progress: stderr heartbeat
+
+  // --- serve-only ----------------------------------------------------------
+  std::string listen;             ///< --listen unix:PATH | tcp:PORT
+  std::size_t server_workers = 4; ///< --workers: executor threads
+  std::size_t server_queue = 64;  ///< --queue: admission queue bound
+  std::string wal_dir;            ///< --wal-dir: stable durable-file directory
 };
 
 void Usage() {
   std::printf(
-      "liod_cli --index NAME --dataset NAME --workload TYPE [options]\n\n"
+      "liod_cli run --index NAME --dataset NAME --workload TYPE [options]\n"
+      "liod_cli serve --listen unix:PATH|tcp:PORT [--workers N] [--queue N]\n"
+      "               [--wal-dir DIR] [--recover] [engine options]\n"
+      "liod_cli recover [run options]   (run with the crash-recovery demo)\n"
+      "(a bare `liod_cli --flags` is the deprecated spelling of `run`)\n\n"
       "indexes:   btree fiting pgm alex alex-l1 lipp hybrid-{fiting,pgm,alex,lipp}\n"
       "datasets: ");
   for (const auto& d : AllDatasetNames()) std::printf(" %s", d.c_str());
@@ -148,11 +184,14 @@ void Usage() {
       "           --metrics-out FILE (final metric-registry JSON)\n"
       "           --trace-out FILE (Chrome trace-event JSON; load in Perfetto)\n"
       "           --sample-out FILE --sample-every-ms N (periodic metrics CSV)\n"
-      "           --progress (stderr heartbeat; --csv stdout stays clean)\n");
+      "           --progress (stderr heartbeat; --csv stdout stays clean)\n"
+      "serve:     --listen unix:PATH|tcp:PORT --workers N --queue N\n"
+      "           --wal-dir DIR (stable WAL/checkpoint files; enables restart\n"
+      "             recovery) --recover (rebuild from --wal-dir before listening)\n");
 }
 
-bool Parse(int argc, char** argv, CliArgs* args) {
-  for (int i = 1; i < argc; ++i) {
+bool Parse(int argc, char** argv, int start, CliArgs* args) {
+  for (int i = start; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     const char* v = nullptr;
@@ -228,6 +267,14 @@ bool Parse(int argc, char** argv, CliArgs* args) {
       args->sample_out = v;
     } else if (a == "--sample-every-ms") {
       args->sample_every_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--listen") {
+      args->listen = v;
+    } else if (a == "--workers") {
+      args->server_workers = std::strtoull(v, nullptr, 10);
+    } else if (a == "--queue") {
+      args->server_queue = std::strtoull(v, nullptr, 10);
+    } else if (a == "--wal-dir") {
+      args->wal_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -721,15 +768,77 @@ int RunEngine(const CliArgs& args, const IndexOptions& options,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliArgs args;
-  if (!Parse(argc, argv, &args)) {
-    Usage();
+/// Builds the IndexOptions shared by run and serve from the flag set.
+/// Returns 0 on success, 2 (after complaining to stderr) on a bad value;
+/// callers print Usage() on failure.
+int BuildIndexOptions(const CliArgs& args, IndexOptions* options) {
+  options->block_size = args.block;
+  options->buffer_pool_blocks = args.buffer;
+  options->shared_buffer_budget_blocks = args.buffer_budget;
+  options->buffer_write_back = args.write_back;
+  options->memory_resident_inner = args.inner_in_memory;
+  options->alex_max_data_node_slots = 4096;
+  if (!BufferPolicyFromName(args.buffer_policy, &options->buffer_policy)) {
+    std::fprintf(stderr, "unknown buffer policy '%s'\n", args.buffer_policy.c_str());
     return 2;
   }
+  if (args.merge_threshold <= 0.0) {
+    std::fprintf(stderr, "--merge-threshold must be > 0 (got %s)\n",
+                 std::to_string(args.merge_threshold).c_str());
+    return 2;
+  }
+  options->update_buffer_blocks = args.update_buffer;
+  options->update_buffer_merge_threshold = args.merge_threshold;
+  if (!MergeModeFromName(args.merge_mode, &options->update_buffer_merge_mode)) {
+    std::fprintf(stderr, "unknown merge mode '%s'\n", args.merge_mode.c_str());
+    return 2;
+  }
+  if (!DurabilityPolicyFromName(args.durability, &options->durability)) {
+    std::fprintf(stderr, "unknown durability policy '%s'\n", args.durability.c_str());
+    return 2;
+  }
+  options->wal_group_window = args.group_window;
+  options->checkpoint_every_ops = args.checkpoint_every;
+  if (!DeviceKindFromName(args.device, &options->device)) {
+    std::fprintf(stderr, "unknown device '%s'\n", args.device.c_str());
+    return 2;
+  }
+  options->device_path = args.device_path;
+  options->device_batching = !args.device_no_batch;
+  return 0;
+}
 
+/// Real devices with no --device-path get a private temp directory, removed
+/// on scope exit (best effort; the files are scratch by definition).
+struct ScopedTempDeviceDir {
+  std::string path;
+  ~ScopedTempDeviceDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
+
+int MaybeMakeTempDeviceDir(IndexOptions* options, ScopedTempDeviceDir* dir) {
+  if (EffectiveDeviceKind(*options) == DeviceKind::kModeled ||
+      !EffectiveDevicePath(*options).empty()) {
+    return 0;
+  }
+  char tmpl[] = "/tmp/liod_device_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  if (d == nullptr) {
+    std::fprintf(stderr, "cannot create temp device dir: %s\n", std::strerror(errno));
+    return 1;
+  }
+  dir->path = d;
+  options->device_path = dir->path;
+  return 0;
+}
+
+/// `run` (and `recover`, which is run with the crash demo forced on): the
+/// historical benchmark driver with its exact output format.
+int RunCommand(const CliArgs& args) {
   WorkloadType type = WorkloadType::kLookupOnly;
   if (!WorkloadTypeFromName(args.workload, &type)) {
     std::fprintf(stderr, "unknown workload '%s'\n", args.workload.c_str());
@@ -738,44 +847,10 @@ int main(int argc, char** argv) {
   }
 
   IndexOptions options;
-  options.block_size = args.block;
-  options.buffer_pool_blocks = args.buffer;
-  options.shared_buffer_budget_blocks = args.buffer_budget;
-  options.buffer_write_back = args.write_back;
-  options.memory_resident_inner = args.inner_in_memory;
-  options.alex_max_data_node_slots = 4096;
-  if (!BufferPolicyFromName(args.buffer_policy, &options.buffer_policy)) {
-    std::fprintf(stderr, "unknown buffer policy '%s'\n", args.buffer_policy.c_str());
+  if (const int rc = BuildIndexOptions(args, &options); rc != 0) {
     Usage();
-    return 2;
+    return rc;
   }
-  if (args.merge_threshold <= 0.0) {
-    std::fprintf(stderr, "--merge-threshold must be > 0 (got %s)\n",
-                 std::to_string(args.merge_threshold).c_str());
-    Usage();
-    return 2;
-  }
-  options.update_buffer_blocks = args.update_buffer;
-  options.update_buffer_merge_threshold = args.merge_threshold;
-  if (!MergeModeFromName(args.merge_mode, &options.update_buffer_merge_mode)) {
-    std::fprintf(stderr, "unknown merge mode '%s'\n", args.merge_mode.c_str());
-    Usage();
-    return 2;
-  }
-  if (!DurabilityPolicyFromName(args.durability, &options.durability)) {
-    std::fprintf(stderr, "unknown durability policy '%s'\n", args.durability.c_str());
-    Usage();
-    return 2;
-  }
-  options.wal_group_window = args.group_window;
-  options.checkpoint_every_ops = args.checkpoint_every;
-  if (!DeviceKindFromName(args.device, &options.device)) {
-    std::fprintf(stderr, "unknown device '%s'\n", args.device.c_str());
-    Usage();
-    return 2;
-  }
-  options.device_path = args.device_path;
-  options.device_batching = !args.device_no_batch;
   if (args.recover && (args.threads > 1 || args.shards > 1)) {
     std::fprintf(stderr, "--recover supports the sequential path only (threads=shards=1)\n");
     return 2;
@@ -811,30 +886,210 @@ int main(int argc, char** argv) {
   options.metrics = telemetry.metrics.get();
   options.trace = telemetry.trace.get();
 
-  // Real devices with no --device-path get a private temp directory, removed
-  // after the run (best effort; the files are scratch by definition).
-  std::string temp_device_dir;
-  if (EffectiveDeviceKind(options) != DeviceKind::kModeled &&
-      EffectiveDevicePath(options).empty()) {
-    char tmpl[] = "/tmp/liod_device_XXXXXX";
-    const char* dir = ::mkdtemp(tmpl);
-    if (dir == nullptr) {
-      std::fprintf(stderr, "cannot create temp device dir: %s\n", std::strerror(errno));
-      return 1;
-    }
-    temp_device_dir = dir;
-    options.device_path = temp_device_dir;
+  ScopedTempDeviceDir temp_device_dir;
+  if (MaybeMakeTempDeviceDir(&options, &temp_device_dir) != 0) return 1;
+
+  if (args.threads == 1 && args.shards == 1) {
+    return RunSequential(args, options, keys, spec, &telemetry);
+  }
+  return RunEngine(args, options, keys, spec, &telemetry);
+}
+
+/// `serve`: bulkload (or `--recover` rebuild) a ShardedEngine with the same
+/// engine flags as run, then serve the binary KV protocol until
+/// SIGINT/SIGTERM, finishing with a graceful drain + checkpoint.
+int ServeCommand(const CliArgs& args) {
+  IndexOptions options;
+  if (const int rc = BuildIndexOptions(args, &options); rc != 0) {
+    Usage();
+    return rc;
   }
 
-  int rc;
-  if (args.threads == 1 && args.shards == 1) {
-    rc = RunSequential(args, options, keys, spec, &telemetry);
+  server::ServerOptions server_options;
+  if (args.listen.rfind("unix:", 0) == 0 && args.listen.size() > 5) {
+    server_options.unix_path = args.listen.substr(5);
+  } else if (args.listen.rfind("tcp:", 0) == 0 && args.listen.size() > 4) {
+    server_options.tcp_port = std::atoi(args.listen.c_str() + 4);
   } else {
-    rc = RunEngine(args, options, keys, spec, &telemetry);
+    std::fprintf(stderr, "serve requires --listen unix:PATH or tcp:PORT\n");
+    Usage();
+    return 2;
   }
-  if (!temp_device_dir.empty()) {
+  if (!args.wal_dir.empty() && options.durability == DurabilityPolicy::kNone) {
+    std::fprintf(stderr, "--wal-dir requires --durability != none\n");
+    return 2;
+  }
+  if (args.recover && args.wal_dir.empty()) {
+    std::fprintf(stderr, "serve --recover requires --wal-dir (stable durable files)\n");
+    return 2;
+  }
+
+  TelemetryContext telemetry;
+  if (!args.metrics_out.empty() || !args.sample_out.empty()) {
+    telemetry.metrics = std::make_unique<MetricRegistry>();
+  }
+  if (!args.trace_out.empty()) {
+    telemetry.trace = std::make_unique<TraceRecorder>();
+  }
+  options.metrics = telemetry.metrics.get();
+  options.trace = telemetry.trace.get();
+
+  ScopedTempDeviceDir temp_device_dir;
+  if (MaybeMakeTempDeviceDir(&options, &temp_device_dir) != 0) return 1;
+
+  EngineOptions engine_options;
+  engine_options.index_name = args.index;
+  engine_options.num_shards = args.shards;
+  engine_options.index = options;
+  if (!ShardLockModeFromName(args.lock_mode, &engine_options.shard_lock_mode)) {
+    std::fprintf(stderr, "unknown lock mode '%s'\n", args.lock_mode.c_str());
+    return 2;
+  }
+  engine_options.share_buffers_across_shards = args.buffer_budget > 0;
+
+  // --wal-dir pins shard i's WAL/checkpoint to DIR/shard<i>.{wal,ckpt}: a
+  // fresh serve truncates them, `serve --recover` reopens what the previous
+  // process left behind and replays the committed tail.
+  DurableStore store(options.block_size);
+  if (!args.wal_dir.empty()) {
     std::error_code ec;
-    std::filesystem::remove_all(temp_device_dir, ec);
+    std::filesystem::create_directories(args.wal_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --wal-dir %s: %s\n", args.wal_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < args.shards; ++i) {
+      const std::string base = args.wal_dir + "/shard" + std::to_string(i);
+      auto wal = std::make_unique<FileBlockDevice>(base + ".wal", options.block_size,
+                                                   /*truncate=*/!args.recover,
+                                                   telemetry.metrics.get());
+      auto ckpt = std::make_unique<FileBlockDevice>(base + ".ckpt", options.block_size,
+                                                    /*truncate=*/!args.recover,
+                                                    telemetry.metrics.get());
+      if (!wal->ok() || !ckpt->ok()) {
+        std::fprintf(stderr, "cannot open durable files %s.{wal,ckpt}%s\n", base.c_str(),
+                     args.recover ? " (is --wal-dir from the previous serve?)" : "");
+        return 1;
+      }
+      store.InstallSlot(i, std::make_unique<DurableSlot>(std::move(wal), std::move(ckpt)));
+    }
+    engine_options.durable_store = &store;
   }
-  return rc;
+
+  ShardedEngine engine(engine_options);
+  const auto records = MakeDatasetRecords(args.dataset, args.bulk, args.seed);
+  if (args.recover) {
+    ShardedEngine::RecoverySummary summary;
+    const Status status = engine.RecoverFrom(&store, records, &summary);
+    if (!status.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "liod_cli serve: recovered %zu shards: %llu checkpoint entries, "
+                 "%llu replayed records (%llu wal blocks, torn_tail=%d)\n",
+                 engine.num_shards(),
+                 static_cast<unsigned long long>(summary.checkpoint_entries),
+                 static_cast<unsigned long long>(summary.replayed_records),
+                 static_cast<unsigned long long>(summary.wal_blocks_read),
+                 summary.torn_tail ? 1 : 0);
+  } else {
+    const Status status = engine.Bulkload(records);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bulkload failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  server_options.workers = args.server_workers;
+  server_options.queue_capacity = args.server_queue;
+  server_options.metrics = telemetry.metrics.get();
+  server_options.trace = telemetry.trace.get();
+
+  // Block the shutdown signals BEFORE Start so every server thread inherits
+  // the mask and delivery funnels into this thread's sigwait.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::KvServer server(&engine, server_options);
+  if (const Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!server_options.unix_path.empty()) {
+    std::fprintf(stderr,
+                 "liod_cli serve: listening on unix:%s (workers=%zu, queue=%zu, "
+                 "%zu shards)\n",
+                 server_options.unix_path.c_str(), server_options.workers,
+                 server_options.queue_capacity, engine.num_shards());
+  }
+  if (server_options.tcp_port >= 0) {
+    std::fprintf(stderr,
+                 "liod_cli serve: listening on tcp:%d (workers=%zu, queue=%zu, "
+                 "%zu shards)\n",
+                 server.tcp_port(), server_options.workers, server_options.queue_capacity,
+                 engine.num_shards());
+  }
+
+  // The sampler starts once every metric (engine + server) is registered, so
+  // its frozen CSV columns cover the server.* namespace too.
+  if (!args.sample_out.empty() && telemetry.metrics != nullptr) {
+    telemetry.sampler = std::make_unique<TelemetrySampler>(
+        telemetry.metrics.get(), args.sample_out,
+        std::chrono::milliseconds(args.sample_every_ms));
+  }
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "liod_cli serve: caught signal %d, draining\n", sig);
+
+  const Status down = server.Shutdown();
+  const server::ServerCounters counters = server.counters();
+  std::fprintf(stderr,
+               "liod_cli serve: done: %llu connections, %llu batches (%llu ops), "
+               "%llu overloaded, %llu shutdown-rejected, %llu malformed\n",
+               static_cast<unsigned long long>(counters.connections_accepted),
+               static_cast<unsigned long long>(counters.batches_executed),
+               static_cast<unsigned long long>(counters.ops_executed),
+               static_cast<unsigned long long>(counters.batches_overloaded),
+               static_cast<unsigned long long>(counters.batches_shutdown_rejected),
+               static_cast<unsigned long long>(counters.malformed_frames));
+  const int telemetry_rc = FinishTelemetry(args, &telemetry);
+  if (!down.ok()) {
+    std::fprintf(stderr, "shutdown failed: %s\n", down.ToString().c_str());
+    return 1;
+  }
+  return telemetry_rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = "run";
+  int flag_start = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    command = argv[1];
+    flag_start = 2;
+    if (command != "run" && command != "serve" && command != "recover") {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      Usage();
+      return 2;
+    }
+  } else if (argc > 1) {
+    std::fprintf(stderr,
+                 "note: bare `liod_cli --flags` is deprecated; use `liod_cli run --flags`\n");
+  }
+
+  CliArgs args;
+  if (!Parse(argc, argv, flag_start, &args)) {
+    Usage();
+    return 2;
+  }
+  if (command == "serve") return ServeCommand(args);
+  if (command == "recover") args.recover = true;
+  return RunCommand(args);
 }
