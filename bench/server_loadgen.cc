@@ -14,6 +14,12 @@
 //                  [--dataset fb] [--bulk N] [--seed N]
 //                  [--workload ycsb-c] [--zipf 0.99] [--scan-length N]
 //                  [--label NAME] [--connect-wait-ms N] [--csv]
+//                  [--server-stats]
+//
+// --server-stats fetches the server's liod-stats/1 document (the wire stats
+// op) after the final measurement and prints it to STDERR -- stdout CSV stays
+// parseable, and CI reconciles the server's ops_executed against the CSV op
+// tallies from the same run.
 //
 // --dataset/--bulk/--seed must match the server's flags so the tape draws
 // keys the server actually loaded (YCSB A/B/C/F operate over the loaded set;
@@ -63,6 +69,7 @@ struct LoadgenArgs {
   std::string label = "server";
   std::size_t connect_wait_ms = 5'000;  ///< retry budget while the server starts
   bool csv = false;
+  bool server_stats = false;  ///< --server-stats: post-run stats op to stderr
 };
 
 void Usage() {
@@ -71,7 +78,7 @@ void Usage() {
                "               [--ops N] [--batch N] [--dataset NAME] [--bulk N]\n"
                "               [--seed N] [--workload TYPE] [--zipf THETA]\n"
                "               [--scan-length N] [--label NAME]\n"
-               "               [--connect-wait-ms N] [--csv]\n");
+               "               [--connect-wait-ms N] [--csv] [--server-stats]\n");
 }
 
 bool Parse(int argc, char** argv, LoadgenArgs* args) {
@@ -82,6 +89,8 @@ bool Parse(int argc, char** argv, LoadgenArgs* args) {
     if (a == "--help" || a == "-h") return false;
     if (a == "--csv") {
       args->csv = true;
+    } else if (a == "--server-stats") {
+      args->server_stats = true;
     } else if ((v = next()) == nullptr) {
       std::fprintf(stderr, "missing value for %s\n", a.c_str());
       return false;
@@ -312,6 +321,21 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(total.op_errors));
     }
     std::fflush(stdout);
+  }
+
+  if (args.server_stats) {
+    server::KvClient client;
+    const Status status = ConnectWithRetry(args, &client);
+    if (!status.ok()) {
+      std::fprintf(stderr, "server-stats connect failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::string json;
+    if (const Status s = client.Stats(&json); !s.ok()) {
+      std::fprintf(stderr, "server-stats failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "server-stats: %s\n", json.c_str());
   }
   return 0;
 }

@@ -5,6 +5,7 @@ Usage:
     validate_metrics.py --metrics metrics.json [--require-metrics a,b,c]
                         [--trace trace.json    [--require-spans x,y,z]]
                         [--samples samples.csv]
+                        [--prometheus scrape.txt]
 
 Any malformed artifact exits non-zero with a diagnostic, so CI fails instead
 of uploading garbage:
@@ -28,6 +29,12 @@ of uploading garbage:
 * ``--samples``: the periodic sampler CSV. Header must start with ``ts_ms``,
   every row must have the header's width with finite non-negative cells, and
   ``ts_ms`` must be non-decreasing.
+* ``--prometheus``: a text-format 0.0.4 scrape (the exporter's ``/metrics``).
+  Every sample's family must carry ``# HELP`` and ``# TYPE`` lines; metric
+  and label names must match the Prometheus charset; counter families must
+  end in ``_total`` with finite non-negative values; histogram bucket series
+  must be cumulative (non-decreasing), end in a mandatory ``+Inf`` bucket
+  equal to ``_count``, and come with a finite ``_sum``.
 """
 
 import argparse
@@ -35,9 +42,14 @@ import csv
 import json
 import math
 import os
+import re
 import sys
 
 METRICS_SCHEMA = "liod-telemetry/1"
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+PROMETHEUS_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
 
 def fail(message: str) -> None:
@@ -201,6 +213,140 @@ def validate_samples(path: str) -> None:
     print(f"validate_metrics: {path}: {rows} sample row(s) OK")
 
 
+def parse_prometheus_sample(line: str, where: str):
+    """Splits a sample line into (name, labels dict, float value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        body, _, value_str = rest.rpartition("}")
+        if not _:
+            fail(f"{where}: unbalanced label braces: {line!r}")
+        pairs = LABEL_PAIR_RE.findall(body)
+        # The pairs must tile the whole label body: anything the regex skipped
+        # (bad name, unquoted value, stray bytes) is a syntax violation.
+        if ",".join(f'{k}="{v}"' for k, v in pairs) != body:
+            fail(f"{where}: malformed label set {{{body}}}")
+        labels = dict(pairs)
+    else:
+        name, _, value_str = line.partition(" ")
+        labels = {}
+    name = name.strip()
+    if not METRIC_NAME_RE.match(name):
+        fail(f"{where}: invalid metric name {name!r}")
+    value_str = value_str.strip()
+    try:
+        value = float(value_str)
+    except ValueError:
+        fail(f"{where}: sample value is not a number: {value_str!r}")
+    if not math.isfinite(value):
+        fail(f"{where}: sample value is not finite: {value_str!r}")
+    return name, labels, value
+
+
+def validate_prometheus(path: str) -> None:
+    if not os.path.exists(path):
+        fail(f"prometheus: no such file: {path}")
+    helps, types = {}, {}
+    samples = []  # (where, name, labels, value)
+    with open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            where = f"prometheus: {path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 4:
+                    fail(f"{where}: HELP line has no docstring: {line!r}")
+                helps[parts[2]] = parts[3]
+            elif line.startswith("# TYPE "):
+                parts = line.split(None, 3)
+                if len(parts) < 4 or parts[3] not in PROMETHEUS_TYPES:
+                    fail(f"{where}: malformed TYPE line: {line!r}")
+                if parts[2] in types:
+                    fail(f"{where}: duplicate TYPE for family {parts[2]!r}")
+                types[parts[2]] = parts[3]
+            elif line.startswith("#"):
+                continue  # other comments are legal
+            else:
+                samples.append((where, *parse_prometheus_sample(line, where)))
+
+    for family in types:
+        if family not in helps:
+            fail(f"prometheus: {path}: family {family!r} has TYPE but no HELP")
+
+    # (family, sorted non-le labels) -> in-order bucket [(le, value)], plus the
+    # matching _count/_sum samples, for the cumulative-sum checks below.
+    buckets, counts, sums = {}, {}, {}
+    families_seen = set()
+    for where, name, labels, value in samples:
+        family, suffix = name, ""
+        if name not in types:
+            for candidate in ("_bucket", "_sum", "_count"):
+                base = name[: -len(candidate)] if name.endswith(candidate) else None
+                if base and types.get(base) in ("histogram", "summary"):
+                    family, suffix = base, candidate
+                    break
+        if family not in types:
+            fail(f"{where}: sample {name!r} has no # TYPE line")
+        families_seen.add(family)
+
+        if types[family] == "counter":
+            if not family.endswith("_total"):
+                fail(f"{where}: counter family {family!r} does not end in _total")
+            if value < 0:
+                fail(f"{where}: counter {name!r} is negative: {value}")
+        elif types[family] == "histogram":
+            key = (family, tuple(sorted((k, v) for k, v in labels.items()
+                                        if k != "le")))
+            if value < 0:
+                fail(f"{where}: histogram sample {name!r} is negative: {value}")
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    fail(f"{where}: bucket sample {name!r} has no le label")
+                buckets.setdefault(key, []).append((where, labels["le"], value))
+            elif suffix == "_count":
+                counts[key] = (where, value)
+            elif suffix == "_sum":
+                sums[key] = (where, value)
+            else:
+                fail(f"{where}: histogram family {family!r} has a bare sample "
+                     f"{name!r} (want _bucket/_sum/_count)")
+
+    for key, series in buckets.items():
+        family = key[0]
+        previous = -1.0
+        for where, le, value in series:
+            if le != "+Inf":
+                try:
+                    float(le)
+                except ValueError:
+                    fail(f"{where}: bucket le is not a number: {le!r}")
+            if value < previous:
+                fail(f"{where}: bucket series of {family!r} is not cumulative: "
+                     f"{value} < {previous}")
+            previous = value
+        if series[-1][1] != "+Inf":
+            fail(f"prometheus: {path}: histogram {family!r}{dict(key[1])} has "
+                 f"no terminal +Inf bucket")
+        if key not in counts:
+            fail(f"prometheus: {path}: histogram {family!r}{dict(key[1])} has "
+                 f"buckets but no _count")
+        if series[-1][2] != counts[key][1]:
+            fail(f"{counts[key][0]}: histogram {family!r} +Inf bucket "
+                 f"({series[-1][2]}) != _count ({counts[key][1]})")
+        if key not in sums:
+            fail(f"prometheus: {path}: histogram {family!r}{dict(key[1])} has "
+                 f"buckets but no _sum")
+    for key in counts:
+        if key not in buckets:
+            fail(f"{counts[key][0]}: histogram _count without any bucket series")
+
+    if not samples:
+        fail(f"prometheus: {path} has no samples")
+    print(f"validate_metrics: {path}: {len(samples)} sample(s) across "
+          f"{len(families_seen)} family(ies) OK")
+
+
 def split_list(value: str) -> list:
     return [item for item in (value or "").split(",") if item]
 
@@ -217,10 +363,13 @@ def main() -> None:
     parser.add_argument("--require-spans", default="",
                         help="comma-separated span names that must occur in the trace")
     parser.add_argument("--samples", help="sampler CSV to validate")
+    parser.add_argument("--prometheus",
+                        help="Prometheus text-format scrape to validate")
     args = parser.parse_args()
 
-    if not (args.metrics or args.trace or args.samples):
-        fail("nothing to validate: pass --metrics, --trace, and/or --samples")
+    if not (args.metrics or args.trace or args.samples or args.prometheus):
+        fail("nothing to validate: pass --metrics, --trace, --samples, "
+             "and/or --prometheus")
     if args.require_metrics and not args.metrics:
         fail("--require-metrics needs --metrics")
     if args.require_device_counters and not args.metrics:
@@ -235,6 +384,8 @@ def main() -> None:
         validate_trace(args.trace, split_list(args.require_spans))
     if args.samples:
         validate_samples(args.samples)
+    if args.prometheus:
+        validate_prometheus(args.prometheus)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,137 @@
+#include "engine/heat_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liod {
+
+namespace {
+
+constexpr double kWindowSeconds = 1.0;
+constexpr double kAlpha = 0.3;
+
+}  // namespace
+
+ShardHeatTracker::ShardHeatTracker(std::size_t top_k)
+    : top_k_(std::max<std::size_t>(1, top_k)),
+      window_start_(std::chrono::steady_clock::now()) {
+  slots_.reserve(top_k_);
+  index_.reserve(top_k_);
+}
+
+ShardHeatTracker::Class ShardHeatTracker::ClassOf(kv::OpKind kind) {
+  switch (kind) {
+    case kv::OpKind::kLookup:
+      return kRead;
+    case kv::OpKind::kScan:
+      return kScan;
+    case kv::OpKind::kInsert:
+    case kv::OpKind::kDelete:
+    case kv::OpKind::kReadModifyWrite:
+      return kWrite;
+  }
+  return kRead;
+}
+
+void ShardHeatTracker::RollWindows(std::chrono::steady_clock::time_point now) const {
+  const double elapsed = std::chrono::duration<double>(now - window_start_).count();
+  if (elapsed < kWindowSeconds) return;
+  const auto n = static_cast<std::uint64_t>(elapsed / kWindowSeconds);
+  // The first elapsed window carries the accumulated counts; any further
+  // elapsed windows were empty and just decay the rates.
+  for (int c = 0; c < kNumClasses; ++c) {
+    const double window_rate = static_cast<double>(window_[c]) / kWindowSeconds;
+    rate_[c] = primed_ ? kAlpha * window_rate + (1.0 - kAlpha) * rate_[c] : window_rate;
+    window_[c] = 0;
+  }
+  primed_ = true;
+  if (n > 1) {
+    const double decay = std::pow(1.0 - kAlpha, static_cast<double>(n - 1));
+    for (double& r : rate_) r *= decay;
+  }
+  window_start_ += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(n) * kWindowSeconds));
+}
+
+void ShardHeatTracker::Record(kv::OpKind kind, Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RollWindows(std::chrono::steady_clock::now());
+  const Class c = ClassOf(kind);
+  ++window_[c];
+  ++lifetime_[c];
+
+  // SpaceSaving update.
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++slots_[it->second].count;
+    return;
+  }
+  if (slots_.size() < top_k_) {
+    index_.emplace(key, slots_.size());
+    slots_.push_back(Slot{key, 1, 0});
+    return;
+  }
+  // Evict the minimum counter; the new key inherits its count as error.
+  std::size_t min_slot = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[min_slot].count) min_slot = i;
+  }
+  Slot& slot = slots_[min_slot];
+  index_.erase(slot.key);
+  index_.emplace(key, min_slot);
+  slot.key = key;
+  slot.error = slot.count;
+  ++slot.count;
+}
+
+HeatSnapshot ShardHeatTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  // Snapshot observes the same window roll as Record, so an idle shard's
+  // rates decay instead of freezing at their last value.
+  RollWindows(now);
+
+  HeatSnapshot snap;
+  snap.lookups = lifetime_[kRead];
+  snap.writes = lifetime_[kWrite];
+  snap.scans = lifetime_[kScan];
+  snap.total_ops = snap.lookups + snap.writes + snap.scans;
+
+  double rates[kNumClasses];
+  double rate_sum = 0.0;
+  if (primed_) {
+    for (int c = 0; c < kNumClasses; ++c) rate_sum += rates[c] = rate_[c];
+  } else {
+    // Nothing has completed a window yet: report the partial window's rate so
+    // short runs still see a number instead of a hard zero.
+    const double elapsed = std::chrono::duration<double>(now - window_start_).count();
+    for (int c = 0; c < kNumClasses; ++c) {
+      rates[c] = elapsed > 1e-6 ? static_cast<double>(window_[c]) / elapsed : 0.0;
+      rate_sum += rates[c];
+    }
+  }
+  snap.ops_per_s = rate_sum;
+  if (rate_sum > 0.0) {
+    snap.read_frac = rates[kRead] / rate_sum;
+    snap.write_frac = rates[kWrite] / rate_sum;
+    snap.scan_frac = rates[kScan] / rate_sum;
+  } else if (snap.total_ops > 0) {
+    // Rates fully decayed (long-idle shard): fall back to the lifetime mix.
+    const double total = static_cast<double>(snap.total_ops);
+    snap.read_frac = static_cast<double>(snap.lookups) / total;
+    snap.write_frac = static_cast<double>(snap.writes) / total;
+    snap.scan_frac = static_cast<double>(snap.scans) / total;
+  }
+
+  snap.top_keys.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    snap.top_keys.push_back(HeatSnapshot::HotKey{slot.key, slot.count, slot.error});
+  }
+  std::sort(snap.top_keys.begin(), snap.top_keys.end(),
+            [](const HeatSnapshot::HotKey& a, const HeatSnapshot::HotKey& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  return snap;
+}
+
+}  // namespace liod

@@ -262,6 +262,33 @@ void ShardedEngine::RegisterTelemetry() {
         RegisterBufferGauges(metrics_, prefix, &shards_[i]->index->io_stats());
     gauge_names_.insert(gauge_names_.end(), names.begin(), names.end());
   }
+  if (options_.heat_top_k > 0) {
+    heat_.resize(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      heat_[i] = std::make_unique<ShardHeatTracker>(options_.heat_top_k);
+      ShardHeatTracker* heat = heat_[i].get();
+      const std::string prefix = "shard" + std::to_string(i) + ".heat.";
+      metrics_->RegisterGauge(prefix + "ops_per_s",
+                              [heat] { return heat->OpsPerSecond(); });
+      metrics_->RegisterGauge(prefix + "read_frac",
+                              [heat] { return heat->ReadFraction(); });
+      metrics_->RegisterGauge(prefix + "write_frac",
+                              [heat] { return heat->WriteFraction(); });
+      metrics_->RegisterGauge(prefix + "scan_frac",
+                              [heat] { return heat->ScanFraction(); });
+      gauge_names_.push_back(prefix + "ops_per_s");
+      gauge_names_.push_back(prefix + "read_frac");
+      gauge_names_.push_back(prefix + "write_frac");
+      gauge_names_.push_back(prefix + "scan_frac");
+    }
+  }
+}
+
+std::vector<HeatSnapshot> ShardedEngine::HeatSnapshots() const {
+  std::vector<HeatSnapshot> out;
+  out.reserve(heat_.size());
+  for (const auto& tracker : heat_) out.push_back(tracker->Snapshot());
+  return out;
 }
 
 void ShardedEngine::BlockingSharedAcquire(std::size_t s, Shard& shard) {
@@ -384,7 +411,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
         const auto start = std::chrono::steady_clock::now();
         status = ReadOnShard(s, io, shared_io, op);
         if (metrics_ != nullptr) {
-          metrics_->Add(shard_metric_ids_[s].lookups);
+          CountOp(s, kv::OpKind::kLookup, req.key);
           metrics_->Observe(lookup_us_id_, ElapsedUs(start));
         }
       }
@@ -411,7 +438,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
         const auto start = std::chrono::steady_clock::now();
         status = run();
         if (metrics_ != nullptr) {
-          metrics_->Add(shard_metric_ids_[s].inserts);
+          CountOp(s, kv::OpKind::kInsert, req.key);
           metrics_->Observe(insert_us_id_, ElapsedUs(start));
         }
       }
@@ -436,7 +463,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
         const auto start = std::chrono::steady_clock::now();
         status = run();
         if (metrics_ != nullptr) {
-          metrics_->Add(shard_metric_ids_[s].deletes);
+          CountOp(s, kv::OpKind::kDelete, req.key);
           metrics_->Observe(delete_us_id_, ElapsedUs(start));
         }
       }
@@ -462,7 +489,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
         const auto start = std::chrono::steady_clock::now();
         status = run();
         if (metrics_ != nullptr) {
-          metrics_->Add(shard_metric_ids_[s].rmws);
+          CountOp(s, kv::OpKind::kReadModifyWrite, req.key);
           metrics_->Observe(rmw_us_id_, ElapsedUs(start));
         }
       }
@@ -507,7 +534,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
         const auto start = std::chrono::steady_clock::now();
         status = run();
         if (metrics_ != nullptr) {
-          metrics_->Add(shard_metric_ids_[first].scans);
+          CountOp(first, kv::OpKind::kScan, req.key);
           metrics_->Observe(scan_us_id_, ElapsedUs(start));
         }
       }
@@ -519,7 +546,7 @@ Status ShardedEngine::ExecuteSingle(const kv::Request& req, kv::Response* resp,
   return Status::InvalidArgument("ShardedEngine: unknown op kind");
 }
 
-void ShardedEngine::CountOp(std::size_t s, kv::OpKind kind) {
+void ShardedEngine::CountOp(std::size_t s, kv::OpKind kind, Key key) {
   const ShardMetricIds& ids = shard_metric_ids_[s];
   switch (kind) {
     case kv::OpKind::kLookup: metrics_->Add(ids.lookups); break;
@@ -528,6 +555,7 @@ void ShardedEngine::CountOp(std::size_t s, kv::OpKind kind) {
     case kv::OpKind::kScan: metrics_->Add(ids.scans); break;
     case kv::OpKind::kReadModifyWrite: metrics_->Add(ids.rmws); break;
   }
+  if (!heat_.empty()) heat_[s]->Record(kind, key);
 }
 
 Status ShardedEngine::ContinueScan(std::size_t home, const kv::Request& req,
@@ -590,7 +618,7 @@ Status ShardedEngine::ExecuteBatch(kv::RequestBatch& batch, IoStatsSnapshot* io,
             kv::ExecuteOnIndex(index, std::span<const kv::Request>(&reqs[i], 1),
                                std::span<kv::Response>(&resps[i], 1));
         if (first_failure.ok() && IsHardFailure(resps[i].code)) first_failure = status;
-        if (metrics_ != nullptr) CountOp(s, reqs[i].kind);
+        if (metrics_ != nullptr) CountOp(s, reqs[i].kind, reqs[i].key);
       }
       return Status::Ok();
     };

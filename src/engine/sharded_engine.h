@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/index.h"
+#include "engine/heat_tracker.h"
 #include "kv/request.h"
 #include "recovery/durable_store.h"
 #include "recovery/wal_writer.h"
@@ -57,6 +58,14 @@ struct EngineOptions {
   /// cannot be recovered. Inject a store (and keep it) to recover shards
   /// individually via RecoveryManager with the same shard count.
   DurableStore* durable_store = nullptr;
+
+  /// SpaceSaving slots per shard for the workload-heat tracker (top-k hot
+  /// keys plus EWMA read/write/scan mix, engine/heat_tracker.h). Heat
+  /// tracking activates only when index.metrics is attached AND this is > 0:
+  /// with metrics off no tracker is even allocated, so the telemetry-off
+  /// path -- and its counted I/O -- is byte-identical to before this knob
+  /// existed. 0 disables heat tracking even with metrics on.
+  std::size_t heat_top_k = 8;
 };
 
 /// Key-range-sharded concurrent execution engine.
@@ -209,6 +218,14 @@ class ShardedEngine {
   /// the maximum. Thread-safe.
   IndexStats MergedStats() const;
 
+  /// True when per-shard heat trackers are active (metrics attached and
+  /// options().heat_top_k > 0 at Bulkload/RecoverFrom time).
+  bool heat_enabled() const { return !heat_.empty(); }
+
+  /// Snapshot of every shard's heat tracker, indexed by shard; empty when
+  /// heat tracking is disabled. Thread-safe.
+  std::vector<HeatSnapshot> HeatSnapshots() const;
+
   const EngineOptions& options() const { return options_; }
   std::size_t num_shards() const { return shards_.size(); }
   /// Inclusive lower key bound of each shard's range; front() is kMinKey.
@@ -285,8 +302,12 @@ class ShardedEngine {
   /// > `home`, one latch at a time (the relaxed cross-shard guarantee).
   Status ContinueScan(std::size_t home, const kv::Request& req, kv::Response* resp,
                       IoStatsSnapshot* io, std::vector<IoStatsSnapshot>* shared_io);
-  /// Bumps the per-shard op counter for `kind` (metrics_ must be non-null).
-  void CountOp(std::size_t s, kv::OpKind kind);
+  /// Bumps the per-shard op counter for `kind` and feeds the shard's heat
+  /// tracker with `key` (metrics_ must be non-null). The ONE accounting
+  /// funnel of the instrumented execution path: every op site already inside
+  /// a metrics_ != nullptr branch calls this, so heat tracking inherits the
+  /// off-path guarantee for free.
+  void CountOp(std::size_t s, kv::OpKind kind, Key key);
 
   /// Caches the telemetry escape hatches from options_.index and registers
   /// the engine's metrics (per-shard op/lock-wait counters, engine-level
@@ -332,8 +353,12 @@ class ShardedEngine {
   std::size_t scan_us_id_ = 0;       ///< engine.scan_us
   std::size_t execute_us_id_ = 0;    ///< engine.execute_us (multi-request batches)
   std::size_t lock_wait_us_id_ = 0;  ///< engine.lock_wait_us
-  /// Per-shard buffer gauges (RegisterBufferGauges), unregistered in the
-  /// destructor before the shards -- and their IoStats -- are destroyed.
+  /// Per-shard heat trackers (empty unless metrics attached and heat_top_k >
+  /// 0), fed by CountOp and exported as shard<i>.heat.* gauges.
+  std::vector<std::unique_ptr<ShardHeatTracker>> heat_;
+  /// Per-shard buffer and heat gauges (RegisterBufferGauges + shard<i>.heat.*),
+  /// unregistered in the destructor before the shards -- and their IoStats
+  /// and heat trackers -- are destroyed.
   std::vector<std::string> gauge_names_;
 };
 

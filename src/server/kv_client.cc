@@ -41,6 +41,29 @@ Status KvClient::Receive(std::uint32_t* tag, std::vector<kv::Response>* response
   return DecodeResponseBody(scratch_, tag, responses);
 }
 
+Status KvClient::Stats(std::string* json) {
+  if (fd_ < 0) return Status::FailedPrecondition("KvClient: not connected");
+  const std::uint32_t tag = next_tag_++;
+  scratch_.clear();
+  std::vector<std::byte> body;
+  EncodeStatsRequestBody(tag, &body);
+  FrameBody(body, &scratch_);
+  LIOD_RETURN_IF_ERROR(WriteAll(fd_, scratch_));
+  LIOD_RETURN_IF_ERROR(ReadFrameBody(fd_, kMaxFrameBytes, &scratch_));
+  std::uint32_t got_tag = 0;
+  const Status status = DecodeStatsResponseBody(scratch_, &got_tag, json);
+  if (status.code() == Status::Code::kUnimplemented) {
+    // The peer answered with a plain (rejection) response: an old server
+    // that treated the reserved op kind as an unknown op.
+    return Status::Unimplemented("server does not support the stats op");
+  }
+  LIOD_RETURN_IF_ERROR(status);
+  if (got_tag != tag) {
+    return Status::Corruption("KvClient: stats response tag mismatch");
+  }
+  return Status::Ok();
+}
+
 Status KvClient::Call(std::span<const kv::Request> requests,
                       std::vector<kv::Response>* responses) {
   const std::uint32_t tag = next_tag_++;

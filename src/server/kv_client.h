@@ -42,6 +42,14 @@ class KvClient {
   Status Send(std::uint32_t tag, std::span<const kv::Request> requests);
   Status Receive(std::uint32_t* tag, std::vector<kv::Response>* responses);
 
+  /// Fetches the server's live stats document (liod-stats/1 JSON) via the
+  /// wire stats op. A server predating the op answers the reserved kind with
+  /// a plain rejection; that downgrade is reported as kUnimplemented, with
+  /// the connection intact either way. Must not be interleaved with
+  /// outstanding pipelined Sends (the stats response would be matched against
+  /// a data Receive).
+  Status Stats(std::string* json);
+
  private:
   int fd_ = -1;
   std::uint32_t next_tag_ = 1;

@@ -4,6 +4,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "server/net.h"
@@ -30,6 +32,31 @@ std::uint32_t SalvageTag(const std::vector<std::byte>& body) {
   return tag;
 }
 
+// --- StatsJson building blocks (no external JSON dependency, and nothing
+// here serializes user-controlled strings, so appending literals is safe) ---
+
+void AppendField(std::string* out, const char* key, std::uint64_t v) {
+  out->append("\"").append(key).append("\":").append(std::to_string(v));
+}
+
+void AppendField(std::string* out, const char* key, double v) {
+  char buf[64];
+  // %.10g round-trips every value these fields take; non-finite values are
+  // emitted verbatim like MetricsSnapshot::ToJson so validators reject them.
+  if (std::isnan(v)) {
+    std::snprintf(buf, sizeof(buf), "NaN");
+  } else if (std::isinf(v)) {
+    std::snprintf(buf, sizeof(buf), v > 0 ? "Infinity" : "-Infinity");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  out->append("\"").append(key).append("\":").append(buf);
+}
+
+void AppendField(std::string* out, const char* key, const char* v) {
+  out->append("\"").append(key).append("\":\"").append(v).append("\"");
+}
+
 }  // namespace
 
 KvServer::KvServer(ShardedEngine* engine, ServerOptions options)
@@ -53,6 +80,16 @@ Status KvServer::Start() {
     ops_id_ = options_.metrics->Counter("server.ops");
     overloaded_id_ = options_.metrics->Counter("server.batches_overloaded");
     shutdown_rejected_id_ = options_.metrics->Counter("server.batches_shutdown_rejected");
+    stats_requests_id_ = options_.metrics->Counter("server.stats_requests");
+    slow_ops_id_ = options_.metrics->Counter("server.slow_ops");
+    slow_ops_dropped_id_ = options_.metrics->Counter("server.slow_ops_dropped");
+    options_.metrics->RegisterGauge("server.queue_depth", [this] {
+      return static_cast<double>(queue_depth());
+    });
+    queue_gauge_registered_ = true;
+  }
+  if (options_.slow_op_us > 0.0) {
+    slow_ring_ = std::make_unique<SlowOpRing>(options_.slow_op_capacity);
   }
   if (!options_.unix_path.empty()) {
     LIOD_RETURN_IF_ERROR(ListenUnix(options_.unix_path, &unix_fd_));
@@ -116,6 +153,10 @@ void KvServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
         RespondRejection(conn.get(), 0, 1, Status::Code::kInvalidArgument);
       }
       break;  // clean EOF, truncated frame, or socket error: drop the conn
+    }
+    if (IsStatsRequestBody(body)) {
+      HandleStatsRequest(conn.get(), SalvageTag(body));
+      continue;
     }
     std::uint32_t tag = 0;
     std::vector<kv::Request> requests;
@@ -211,8 +252,10 @@ void KvServer::WorkerLoop() {
       FinishPending(item.conn.get());
       continue;
     }
+    const bool timed = options_.metrics != nullptr || slow_ring_ != nullptr;
+    const double queue_us = timed ? ElapsedUs(item.enqueued) : 0.0;
     if (options_.metrics != nullptr) {
-      options_.metrics->Observe(queue_wait_us_id_, ElapsedUs(item.enqueued));
+      options_.metrics->Observe(queue_wait_us_id_, queue_us);
     }
     TraceRecorder::Scope span(options_.trace, "dispatch", "net",
                               static_cast<int>(item.requests.size()));
@@ -221,9 +264,28 @@ void KvServer::WorkerLoop() {
     // Per-op outcomes land in the response codes; a hard batch failure is
     // already reflected there too, so the wire answer is complete either way.
     (void)engine_->Execute(batch);
+    const double execute_us = timed ? ElapsedUs(start) : 0.0;
     if (options_.metrics != nullptr) {
-      options_.metrics->Observe(execute_us_id_, ElapsedUs(start));
+      options_.metrics->Observe(execute_us_id_, execute_us);
       options_.metrics->Add(ops_id_, batch.requests.size());
+    }
+    if (slow_ring_ != nullptr && queue_us + execute_us >= options_.slow_op_us) {
+      // The batch is the admission/execution unit, so its latencies are
+      // attributed to each of its ops (exact for single-op frames, which is
+      // what both runners send).
+      for (const kv::Request& req : batch.requests) {
+        SlowOpRecord rec;
+        rec.kind = static_cast<std::uint8_t>(req.kind);
+        rec.key = req.key;
+        rec.shard = static_cast<std::uint32_t>(engine_->ShardFor(req.key));
+        rec.queue_us = queue_us;
+        rec.execute_us = execute_us;
+        const bool evicted = slow_ring_->Record(rec);
+        if (options_.metrics != nullptr) {
+          options_.metrics->Add(slow_ops_id_);
+          if (evicted) options_.metrics->Add(slow_ops_dropped_id_);
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
@@ -269,9 +331,156 @@ void KvServer::RespondRejection(Connection* conn, std::uint32_t tag,
   }
 }
 
+void KvServer::HandleStatsRequest(Connection* conn, std::uint32_t tag) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.stats_requests;
+  }
+  if (options_.metrics != nullptr) options_.metrics->Add(stats_requests_id_);
+  std::vector<std::byte> body;
+  if (!EncodeStatsResponseBody(tag, StatsJson(), &body).ok()) {
+    RespondRejection(conn, tag, 1, Status::Code::kInvalidArgument);
+    return;
+  }
+  std::vector<std::byte> frame;
+  FrameBody(body, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  if (!WriteAll(conn->fd, frame).ok()) {
+    conn->closed.store(true, std::memory_order_relaxed);
+  }
+}
+
+std::size_t KvServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+SlowOpRing::Snapshot KvServer::slow_ops() const {
+  if (slow_ring_ == nullptr) return SlowOpRing::Snapshot{};
+  return slow_ring_->snapshot();
+}
+
+std::string KvServer::StatsJson() const {
+  const ServerCounters c = counters();
+  double queue_wait_p99 = 0.0;
+  double execute_p99 = 0.0;
+  std::string metrics_json = "null";
+  if (options_.metrics != nullptr) {
+    const MetricsSnapshot snap = options_.metrics->Snapshot();
+    if (const auto it = snap.histograms.find("server.queue_wait_us");
+        it != snap.histograms.end()) {
+      queue_wait_p99 = it->second.Quantile(0.99);
+    }
+    if (const auto it = snap.histograms.find("server.execute_us");
+        it != snap.histograms.end()) {
+      execute_p99 = it->second.Quantile(0.99);
+    }
+    metrics_json = snap.ToJson();
+  }
+
+  std::string out = "{\"schema\":\"liod-stats/1\",\"server\":{";
+  AppendField(&out, "connections_accepted", c.connections_accepted);
+  out += ",";
+  AppendField(&out, "batches_executed", c.batches_executed);
+  out += ",";
+  AppendField(&out, "ops_executed", c.ops_executed);
+  out += ",";
+  AppendField(&out, "batches_overloaded", c.batches_overloaded);
+  out += ",";
+  AppendField(&out, "batches_shutdown_rejected", c.batches_shutdown_rejected);
+  out += ",";
+  AppendField(&out, "malformed_frames", c.malformed_frames);
+  out += ",";
+  AppendField(&out, "stats_requests", c.stats_requests);
+  out += ",";
+  AppendField(&out, "queue_depth", static_cast<std::uint64_t>(queue_depth()));
+  out += ",";
+  AppendField(&out, "queue_capacity",
+              static_cast<std::uint64_t>(options_.queue_capacity));
+  out += ",";
+  AppendField(&out, "workers", static_cast<std::uint64_t>(options_.workers));
+  out += ",";
+  AppendField(&out, "slow_op_threshold_us", options_.slow_op_us);
+  out += ",";
+  AppendField(&out, "queue_wait_p99_us", queue_wait_p99);
+  out += ",";
+  AppendField(&out, "execute_p99_us", execute_p99);
+  out += "},\"slow_ops\":{";
+  const SlowOpRing::Snapshot slow = slow_ops();
+  AppendField(&out, "capacity",
+              static_cast<std::uint64_t>(slow_ring_ != nullptr ? slow_ring_->capacity()
+                                                               : 0));
+  out += ",";
+  AppendField(&out, "recorded", slow.recorded);
+  out += ",";
+  AppendField(&out, "dropped", slow.dropped);
+  out += ",\"ops\":[";
+  for (std::size_t i = 0; i < slow.ops.size(); ++i) {
+    const SlowOpRecord& rec = slow.ops[i];
+    if (i > 0) out += ",";
+    out += "{";
+    AppendField(&out, "kind", kv::OpKindName(static_cast<kv::OpKind>(rec.kind)));
+    out += ",";
+    AppendField(&out, "key", rec.key);
+    out += ",";
+    AppendField(&out, "shard", static_cast<std::uint64_t>(rec.shard));
+    out += ",";
+    AppendField(&out, "queue_us", rec.queue_us);
+    out += ",";
+    AppendField(&out, "execute_us", rec.execute_us);
+    out += "}";
+  }
+  out += "]},\"shards\":[";
+  const std::vector<IoStatsSnapshot> per_shard_io = engine_->PerShardIo();
+  const std::vector<HeatSnapshot> heat = engine_->HeatSnapshots();
+  for (std::size_t s = 0; s < per_shard_io.size(); ++s) {
+    if (s > 0) out += ",";
+    out += "{";
+    AppendField(&out, "shard", static_cast<std::uint64_t>(s));
+    out += ",";
+    AppendField(&out, "blocks_read", per_shard_io[s].TotalReads());
+    out += ",";
+    AppendField(&out, "blocks_written", per_shard_io[s].TotalWrites());
+    if (s < heat.size()) {
+      out += ",\"heat\":{";
+      AppendField(&out, "ops_per_s", heat[s].ops_per_s);
+      out += ",";
+      AppendField(&out, "read_frac", heat[s].read_frac);
+      out += ",";
+      AppendField(&out, "write_frac", heat[s].write_frac);
+      out += ",";
+      AppendField(&out, "scan_frac", heat[s].scan_frac);
+      out += ",";
+      AppendField(&out, "total_ops", heat[s].total_ops);
+      out += ",\"top_keys\":[";
+      for (std::size_t k = 0; k < heat[s].top_keys.size(); ++k) {
+        if (k > 0) out += ",";
+        out += "{";
+        AppendField(&out, "key", heat[s].top_keys[k].key);
+        out += ",";
+        AppendField(&out, "count", heat[s].top_keys[k].count);
+        out += ",";
+        AppendField(&out, "error", heat[s].top_keys[k].error);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "}";
+  }
+  out += "],\"metrics\":" + metrics_json + "}";
+  return out;
+}
+
 Status KvServer::Shutdown() {
   if (!started_ || stopped_) return Status::Ok();
   stopped_ = true;
+  // The queue-depth gauge's callback reads this object; drop it before any
+  // teardown so a concurrent registry snapshot cannot race the drain.
+  if (queue_gauge_registered_) {
+    options_.metrics->UnregisterGauge("server.queue_depth");
+    queue_gauge_registered_ = false;
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     draining_ = true;

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "engine/sharded_engine.h"
 #include "kv/request.h"
+#include "server/slow_op_ring.h"
 
 namespace liod {
 class MetricRegistry;
@@ -39,6 +40,15 @@ struct ServerOptions {
   /// Optional telemetry (server.* counters/histograms, "net" spans).
   MetricRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  /// Slow-op capture threshold in microseconds over a batch's queue-wait +
+  /// execute time: every op of a batch at/over it is recorded in a bounded
+  /// ring (slow_ops(), the stats op, /stats.json). 0 (default) disables
+  /// capture entirely -- no ring, no per-batch clock reads beyond what
+  /// metrics already take.
+  double slow_op_us = 0.0;
+  /// Ring capacity when slow_op_us > 0; older entries are dropped (and
+  /// counted) once it fills.
+  std::size_t slow_op_capacity = 128;
 };
 
 /// Point-in-time admission/execution counters (tests and the CLI's exit
@@ -50,6 +60,7 @@ struct ServerCounters {
   std::uint64_t batches_overloaded = 0;      ///< shed by the full queue
   std::uint64_t batches_shutdown_rejected = 0;  ///< failed during drain
   std::uint64_t malformed_frames = 0;
+  std::uint64_t stats_requests = 0;  ///< kStatsOpKind frames answered inline
 };
 
 /// Socket front-end over one ShardedEngine: length-prefixed binary frames
@@ -94,6 +105,20 @@ class KvServer {
 
   ServerCounters counters() const;
 
+  /// Batches admitted but not yet popped by a worker.
+  std::size_t queue_depth() const;
+
+  /// Snapshot of the slow-op ring; empty (all zeros) when slow_op_us == 0.
+  SlowOpRing::Snapshot slow_ops() const;
+
+  /// The server's one-call observability document ("liod-stats/1" JSON):
+  /// admission/execution counters, queue depth, queue-wait/execute p99s,
+  /// the slow-op ring, per-shard I/O and heat (hot keys + mix), and -- when
+  /// a registry is attached -- its full liod-telemetry/1 snapshot under
+  /// "metrics". Serves both the wire stats op and the exporter's
+  /// /stats.json; safe to call from any thread while serving.
+  std::string StatsJson() const;
+
  private:
   struct Connection {
     int fd = -1;
@@ -124,6 +149,10 @@ class KvServer {
                std::span<const kv::Response> responses);
   void RespondRejection(Connection* conn, std::uint32_t tag, std::size_t op_count,
                         Status::Code code);
+  /// Answers a stats request INLINE on the reader thread: the admin plane
+  /// bypasses the admission queue, so stats stay observable under overload
+  /// (a full queue sheds data batches, never this).
+  void HandleStatsRequest(Connection* conn, std::uint32_t tag);
   /// Decrements conn->pending and wakes its reader's drain wait.
   void FinishPending(Connection* conn);
 
@@ -139,7 +168,7 @@ class KvServer {
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
   /// Set under queue_mu_ at the start of Shutdown: readers stop admitting
@@ -151,6 +180,9 @@ class KvServer {
   mutable std::mutex counters_mu_;
   ServerCounters counters_;
 
+  /// Non-null iff options_.slow_op_us > 0 (created in Start).
+  std::unique_ptr<SlowOpRing> slow_ring_;
+
   // Telemetry ids (valid only when options_.metrics != nullptr).
   std::size_t queue_wait_us_id_ = 0;
   std::size_t execute_us_id_ = 0;
@@ -158,6 +190,12 @@ class KvServer {
   std::size_t ops_id_ = 0;
   std::size_t overloaded_id_ = 0;
   std::size_t shutdown_rejected_id_ = 0;
+  std::size_t stats_requests_id_ = 0;
+  std::size_t slow_ops_id_ = 0;
+  std::size_t slow_ops_dropped_id_ = 0;
+  /// True once the server.queue_depth gauge is registered (unregistered in
+  /// Shutdown -- its callback reads queue_ through this object).
+  bool queue_gauge_registered_ = false;
 };
 
 }  // namespace liod::server

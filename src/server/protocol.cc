@@ -200,4 +200,60 @@ void EncodeRejectionBody(std::uint32_t tag, std::size_t op_count, Status::Code c
   }
 }
 
+void EncodeStatsRequestBody(std::uint32_t tag, std::vector<std::byte>* out) {
+  PutU32(tag, out);
+  PutU32(1, out);           // op_count
+  PutU8(kStatsOpKind, out);
+  PutU32(0, out);           // scan_count
+  PutU64(0, out);           // key
+  PutU64(0, out);           // payload
+}
+
+bool IsStatsRequestBody(std::span<const std::byte> body) {
+  // Exactly one op: header (8) + one request op (21).
+  if (body.size() != 8 + kRequestOpBytes) return false;
+  Reader r(body);
+  std::uint32_t tag = 0;
+  std::uint32_t op_count = 0;
+  std::uint8_t kind = 0;
+  if (!r.GetU32(&tag) || !r.GetU32(&op_count) || !r.GetU8(&kind)) return false;
+  return op_count == 1 && kind == kStatsOpKind;
+}
+
+Status EncodeStatsResponseBody(std::uint32_t tag, const std::string& json,
+                               std::vector<std::byte>* out) {
+  if (json.size() > kMaxFrameBytes - 12) {
+    return Status::InvalidArgument("protocol: stats JSON exceeds frame ceiling");
+  }
+  out->reserve(out->size() + 12 + json.size());
+  PutU32(tag, out);
+  PutU32(kStatsResponseMarker, out);
+  PutU32(static_cast<std::uint32_t>(json.size()), out);
+  const auto* bytes = reinterpret_cast<const std::byte*>(json.data());
+  out->insert(out->end(), bytes, bytes + json.size());
+  return Status::Ok();
+}
+
+Status DecodeStatsResponseBody(std::span<const std::byte> body, std::uint32_t* tag,
+                               std::string* json) {
+  Reader r(body);
+  std::uint32_t marker = 0;
+  if (!r.GetU32(tag) || !r.GetU32(&marker)) return Truncated("stats response header");
+  if (marker != kStatsResponseMarker) {
+    // The op_count slot holds a real op count: this is a normal response --
+    // an old server answered the reserved op kind with a rejection.
+    if (marker <= kMaxBatchOps) {
+      return Status::Unimplemented("protocol: peer answered with a plain response");
+    }
+    return Status::InvalidArgument("protocol: bad stats response marker");
+  }
+  std::uint32_t json_len = 0;
+  if (!r.GetU32(&json_len)) return Truncated("stats response length");
+  if (body.size() != 12 + static_cast<std::size_t>(json_len)) {
+    return Status::InvalidArgument("protocol: stats response length mismatch");
+  }
+  json->assign(reinterpret_cast<const char*>(body.data()) + 12, json_len);
+  return Status::Ok();
+}
+
 }  // namespace liod::server

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -89,6 +90,52 @@ void FrameBody(std::span<const std::byte> body, std::vector<std::byte>* out);
 /// paths and tests.
 void EncodeRejectionBody(std::uint32_t tag, std::size_t op_count, Status::Code code,
                          std::vector<std::byte>* out);
+
+// ---------------------------------------------------------------------------
+// Stats admin op (append-only protocol extension).
+//
+// A stats request is a NORMAL one-op request frame whose single op carries
+// the reserved kind byte kStatsOpKind -- a byte kv::OpKindValid rejects, so
+// a server that predates this extension answers it exactly like any unknown
+// op kind: a kInvalidArgument rejection body on a surviving connection.
+// That pre-existing behavior IS the downgrade path; no handshake or version
+// negotiation is needed, and a new client maps the rejection to
+// kUnimplemented (KvClient::Stats).
+//
+// A stats response body is
+//
+//   u32 tag | u32 kStatsResponseMarker | u32 json_len | json_len JSON bytes
+//
+// where the marker occupies the op_count slot of a normal response and is
+// far above kMaxBatchOps, so the two body shapes can never be confused: a
+// new client probing an old server sees op_count <= kMaxBatchOps and knows
+// it got a plain (rejection) response.
+
+/// Reserved request op kind byte carrying the stats op.
+inline constexpr std::uint8_t kStatsOpKind = 0xFF;
+/// op_count sentinel marking a stats response body (>> kMaxBatchOps).
+inline constexpr std::uint32_t kStatsResponseMarker = 0xFFFFFFFFu;
+
+/// Appends a stats request body (one kStatsOpKind op) to `out`, no length
+/// prefix.
+void EncodeStatsRequestBody(std::uint32_t tag, std::vector<std::byte>* out);
+
+/// True iff `body` is exactly a stats request (one op, kind kStatsOpKind).
+/// Servers check this BEFORE DecodeRequestBody, which rejects the reserved
+/// kind.
+bool IsStatsRequestBody(std::span<const std::byte> body);
+
+/// Appends a stats response body carrying `json` to `out`, no length prefix.
+/// Fails only when the JSON would overflow the frame ceiling.
+Status EncodeStatsResponseBody(std::uint32_t tag, const std::string& json,
+                               std::vector<std::byte>* out);
+
+/// Parses a stats response body into `tag` and `json`. A well-formed NORMAL
+/// response body (op_count <= kMaxBatchOps -- an old server's rejection)
+/// returns kUnimplemented so the client can report the downgrade; anything
+/// else malformed is kInvalidArgument.
+Status DecodeStatsResponseBody(std::span<const std::byte> body, std::uint32_t* tag,
+                               std::string* json);
 
 }  // namespace liod::server
 

@@ -1,0 +1,37 @@
+#include "server/slow_op_ring.h"
+
+#include <algorithm>
+
+namespace liod::server {
+
+SlowOpRing::SlowOpRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+bool SlowOpRing::Record(SlowOpRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = recorded_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+    return false;
+  }
+  // Full: overwrite the oldest entry in place.
+  ring_[start_] = record;
+  start_ = (start_ + 1) % capacity_;
+  return true;
+}
+
+SlowOpRing::Snapshot SlowOpRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.recorded = recorded_;
+  snap.dropped = recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  snap.ops.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    snap.ops.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return snap;
+}
+
+}  // namespace liod::server

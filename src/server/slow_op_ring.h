@@ -1,0 +1,57 @@
+#ifndef LIOD_SERVER_SLOW_OP_RING_H_
+#define LIOD_SERVER_SLOW_OP_RING_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace liod::server {
+
+/// One captured slow operation (KvServer's --slow-op-us capture). The
+/// queue-wait and execute latencies are the op's batch's -- a frame is the
+/// admission/execution unit, so they are exact for single-op frames and
+/// shared by every op of a multi-op frame.
+struct SlowOpRecord {
+  std::uint8_t kind = 0;  ///< kv::OpKind numeric value
+  std::uint64_t key = 0;
+  std::uint32_t shard = 0;
+  double queue_us = 0.0;
+  double execute_us = 0.0;
+  std::uint64_t seq = 0;  ///< capture order, assigned by the ring
+};
+
+/// Bounded ring of the most recent slow ops: drop-oldest under overflow with
+/// exact drop accounting, so a flood of slow ops costs bounded memory and
+/// the stats surface still reports how much history was lost. Thread-safe
+/// (one mutex -- entries are recorded on a path that is slow by definition).
+class SlowOpRing {
+ public:
+  explicit SlowOpRing(std::size_t capacity);
+
+  SlowOpRing(const SlowOpRing&) = delete;
+  SlowOpRing& operator=(const SlowOpRing&) = delete;
+
+  /// Appends one record (its `seq` field is assigned here). Returns true
+  /// when an old record was dropped to make room.
+  bool Record(SlowOpRecord record);
+
+  struct Snapshot {
+    std::uint64_t recorded = 0;  ///< total captures since construction
+    std::uint64_t dropped = 0;   ///< captures evicted by newer ones
+    std::vector<SlowOpRecord> ops;  ///< surviving records, oldest first
+  };
+  Snapshot snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowOpRecord> ring_;  ///< ring_[(start_ + i) % capacity_]
+  std::size_t start_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace liod::server
+
+#endif  // LIOD_SERVER_SLOW_OP_RING_H_

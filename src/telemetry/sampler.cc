@@ -99,7 +99,10 @@ void TelemetrySampler::AppendRow(std::uint64_t ts_ms) {
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
-  out_ << row << '\n';
+  // Flush per row: the CSV is a live time series (a `tail -f` during a serve,
+  // the CI smoke's mid-run checks), and a few lines per second is nothing --
+  // an ofstream-buffered tail that only appears at Stop() defeats the point.
+  out_ << row << '\n' << std::flush;
   if (!out_ && first_error_.ok()) {
     first_error_ = Status::IoError("sampler: write failed");
   }

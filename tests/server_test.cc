@@ -5,10 +5,12 @@
 // silently dropped -- a TSan target), and the end-to-end
 // serve/shutdown/recover cycle answering the committed history bit-equal.
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
@@ -26,6 +28,7 @@
 #include "server/kv_server.h"
 #include "server/net.h"
 #include "server/protocol.h"
+#include "telemetry/metric_registry.h"
 #include "test_util.h"
 
 namespace liod {
@@ -174,6 +177,53 @@ TEST(ProtocolTest, StatusCodesTransportOneToOne) {
     ASSERT_TRUE(server::DecodeResponseBody(body, &tag, &decoded).ok());
     EXPECT_EQ(decoded[0].code, code);
   }
+}
+
+// --- stats-op protocol extension --------------------------------------------
+
+TEST(ProtocolStatsTest, StatsRequestIsAOneOpFrameWithTheReservedKind) {
+  std::vector<std::byte> body;
+  server::EncodeStatsRequestBody(123, &body);
+  EXPECT_TRUE(server::IsStatsRequestBody(body));
+
+  // A normal request frame is NOT a stats request, even a single-op one.
+  std::vector<kv::Request> requests = {{kv::OpKind::kLookup, 42, 0, 0}};
+  std::vector<std::byte> plain;
+  ASSERT_TRUE(server::EncodeRequestBody(123, requests, &plain).ok());
+  EXPECT_FALSE(server::IsStatsRequestBody(plain));
+
+  // An OLD server sees the stats frame as a malformed request (the reserved
+  // kind fails validation): the documented downgrade is the ordinary
+  // kInvalidArgument rejection, not a crash or a hang.
+  std::uint32_t tag = 0;
+  std::vector<kv::Request> decoded;
+  EXPECT_EQ(server::DecodeRequestBody(body, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ProtocolStatsTest, StatsResponseRoundTripsAndRejectsCorruption) {
+  const std::string json = "{\"schema\":\"liod-stats/1\",\"x\":1}";
+  std::vector<std::byte> body;
+  ASSERT_TRUE(server::EncodeStatsResponseBody(9, json, &body).ok());
+
+  std::uint32_t tag = 0;
+  std::string decoded;
+  ASSERT_TRUE(server::DecodeStatsResponseBody(body, &tag, &decoded).ok());
+  EXPECT_EQ(tag, 9u);
+  EXPECT_EQ(decoded, json);
+
+  // Truncated payload.
+  std::vector<std::byte> truncated(body.begin(), body.end() - 1);
+  EXPECT_EQ(server::DecodeStatsResponseBody(truncated, &tag, &decoded).code(),
+            Status::Code::kInvalidArgument);
+
+  // A plain response frame (op_count where the marker belongs) is the
+  // old-server downgrade signal, reported as kUnimplemented so the client
+  // can distinguish "old server" from corruption.
+  std::vector<std::byte> plain;
+  server::EncodeRejectionBody(9, 1, Status::Code::kInvalidArgument, &plain);
+  EXPECT_EQ(server::DecodeStatsResponseBody(plain, &tag, &decoded).code(),
+            Status::Code::kUnimplemented);
 }
 
 // --- server fixture ---------------------------------------------------------
@@ -449,6 +499,167 @@ TEST(KvServerTest, FloodShedsWithOverloadedNotAHang) {
   const server::ServerCounters counters = harness.server->counters();
   EXPECT_EQ(counters.batches_overloaded, overloaded);
   EXPECT_EQ(counters.batches_executed, executed);
+}
+
+// --- live stats (the kStats admin op) ---------------------------------------
+
+/// First match of `"key":<uint>` in a JSON document whose scalar keys are
+/// unique document-wide (the liod-stats/1 schema guarantees that).
+std::uint64_t JsonUint(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(KvServerStatsTest, StatsOpReconcilesWithInProcessCounters) {
+  MetricRegistry registry;
+  EngineOptions engine_options = ServerEngineOptions(2);
+  engine_options.index.metrics = &registry;
+  const auto records = ToRecords(UniformKeys(2000, 41));
+  ShardedEngine engine(engine_options);
+  ASSERT_TRUE(engine.Bulkload(records).ok());
+
+  const std::string path = TestSocketPath("stats");
+  server::ServerOptions server_options;
+  server_options.unix_path = path;
+  server_options.metrics = &registry;
+  server::KvServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(path).ok());
+  kv::RequestBatch batch;
+  for (int i = 0; i < 3; ++i) batch.AddLookup(records[i].key);
+  std::vector<kv::Response> responses;
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(client.Call(batch.requests, &responses).ok());
+  }
+
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+  EXPECT_NE(json.find("\"schema\":\"liod-stats/1\""), std::string::npos);
+
+  // The document reconciles exactly with the in-process counters.
+  const server::ServerCounters counters = server.counters();
+  EXPECT_EQ(JsonUint(json, "ops_executed"), counters.ops_executed);
+  EXPECT_EQ(JsonUint(json, "ops_executed"), 30u);
+  EXPECT_EQ(JsonUint(json, "batches_executed"), counters.batches_executed);
+  EXPECT_EQ(JsonUint(json, "stats_requests"), 1u);
+  EXPECT_EQ(counters.stats_requests, 1u);
+  // Registry attached: the full telemetry snapshot rides along, and so do
+  // the per-shard sections with heat (metrics imply heat by default).
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(json.find("liod-telemetry/1"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(json.find("\"heat\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"top_keys\":["), std::string::npos);
+  // The queue-depth gauge is live while serving.
+  EXPECT_EQ(registry.Snapshot().gauges.count("server.queue_depth"), 1u);
+
+  // The admin op does not desync the data plane: the same connection keeps
+  // serving ordinary calls, and a second stats call answers too.
+  ASSERT_TRUE(client.Call(batch.requests, &responses).ok());
+  EXPECT_EQ(responses[0].code, Status::Code::kOk);
+  ASSERT_TRUE(client.Stats(&json).ok());
+  EXPECT_EQ(JsonUint(json, "stats_requests"), 2u);
+
+  ASSERT_TRUE(server.Shutdown().ok());
+  // Shutdown unregisters the gauge: no dangling callback into the server.
+  EXPECT_EQ(registry.Snapshot().gauges.count("server.queue_depth"), 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(KvServerStatsTest, StatsOpAnswersWithoutARegistry) {
+  ServerHarness harness("stats_plain");
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(harness.path).ok());
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+  EXPECT_NE(json.find("\"schema\":\"liod-stats/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":null"), std::string::npos);
+  // Slow-op capture is off by default: the ring reports zero capacity.
+  EXPECT_EQ(JsonUint(json, "capacity"), 0u);
+}
+
+TEST(KvServerStatsTest, OldServerDowngradesToUnimplemented) {
+  // A fake pre-extension server: accepts one frame and answers the plain
+  // kInvalidArgument rejection an old KvServer writes for an unknown op
+  // kind. The new client must see kUnimplemented, not corruption.
+  const std::string path = TestSocketPath("stats_old");
+  int listen_fd = -1;
+  ASSERT_TRUE(server::ListenUnix(path, &listen_fd).ok());
+  std::thread old_server([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    std::vector<std::byte> body;
+    ASSERT_TRUE(server::ReadFrameBody(fd, server::kMaxFrameBytes, &body).ok());
+    std::uint32_t tag = 0;
+    std::memcpy(&tag, body.data(), sizeof(tag));
+    std::vector<std::byte> rejection, frame;
+    server::EncodeRejectionBody(tag, 1, Status::Code::kInvalidArgument, &rejection);
+    server::FrameBody(rejection, &frame);
+    ASSERT_TRUE(server::WriteAll(fd, frame).ok());
+    ::close(fd);
+  });
+
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(path).ok());
+  std::string json;
+  EXPECT_EQ(client.Stats(&json).code(), Status::Code::kUnimplemented);
+  old_server.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST(KvServerStatsTest, SlowOpFloodBoundsTheRingAndCountsDrops) {
+  MetricRegistry registry;
+  EngineOptions engine_options = ServerEngineOptions(2);
+  const auto records = ToRecords(UniformKeys(2000, 43));
+  ShardedEngine engine(engine_options);
+  ASSERT_TRUE(engine.Bulkload(records).ok());
+
+  const std::string path = TestSocketPath("slow_flood");
+  server::ServerOptions server_options;
+  server_options.unix_path = path;
+  server_options.metrics = &registry;
+  server_options.slow_op_us = 1e-6;  // everything is "slow": capture every op
+  server_options.slow_op_capacity = 4;
+  server::KvServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  server::KvClient client;
+  ASSERT_TRUE(client.ConnectUnix(path).ok());
+  std::vector<kv::Response> responses;
+  for (int i = 0; i < 50; ++i) {
+    kv::RequestBatch batch;
+    batch.AddLookup(records[i].key);
+    ASSERT_TRUE(client.Call(batch.requests, &responses).ok());
+  }
+
+  const server::SlowOpRing::Snapshot snap = server.slow_ops();
+  EXPECT_EQ(snap.recorded, 50u);
+  EXPECT_EQ(snap.dropped, 46u);
+  ASSERT_EQ(snap.ops.size(), 4u);
+  // Drop-oldest: the survivors are the four newest captures, in order.
+  EXPECT_EQ(snap.ops[0].seq, 46u);
+  EXPECT_EQ(snap.ops[3].seq, 49u);
+  EXPECT_EQ(snap.ops[3].kind, static_cast<std::uint8_t>(kv::OpKind::kLookup));
+  EXPECT_GT(snap.ops[3].execute_us, 0.0);
+
+  // The metric mirror and the stats document agree with the ring.
+  const MetricsSnapshot metrics = registry.Snapshot();
+  EXPECT_EQ(metrics.counters.at("server.slow_ops"), 50u);
+  EXPECT_EQ(metrics.counters.at("server.slow_ops_dropped"), 46u);
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+  EXPECT_EQ(JsonUint(json, "capacity"), 4u);
+  EXPECT_EQ(JsonUint(json, "recorded"), 50u);
+  EXPECT_EQ(JsonUint(json, "dropped"), 46u);
+
+  ASSERT_TRUE(server.Shutdown().ok());
+  ::unlink(path.c_str());
 }
 
 // --- shutdown drain (TSan target) -------------------------------------------

@@ -363,6 +363,33 @@ TEST(TelemetrySamplerTest, WritesFrozenHeaderAndAtLeastOneRow) {
   std::remove(path.c_str());
 }
 
+TEST(TelemetrySamplerTest, StopFlushesTheFinalPartialInterval) {
+  // A run shorter than one sampling interval must still leave its telemetry
+  // on disk: Stop() writes a final row from the partial interval, and rows
+  // are flushed as written (the CSV is a live time series -- a mid-run tail
+  // may not end at Stop()'s buffer boundary).
+  MetricRegistry registry;
+  const auto counter = registry.Counter("ops.lookup");
+
+  const std::string path = ::testing::TempDir() + "liod_sampler_partial_test.csv";
+  {
+    // One-hour interval: the periodic loop can never fire inside the test.
+    TelemetrySampler sampler(&registry, path, std::chrono::hours(1));
+    registry.Add(counter, 7);
+    ASSERT_TRUE(sampler.Stop().ok());
+    EXPECT_EQ(sampler.rows_written(), 1u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row))) << "final partial row missing";
+  // The row carries the counter value bumped DURING the partial interval.
+  EXPECT_NE(row.find(",7"), std::string::npos) << row;
+  std::remove(path.c_str());
+}
+
 // --- end-to-end wiring ------------------------------------------------------
 
 IndexOptions BufferedDurableOptions() {

@@ -1,8 +1,9 @@
-// liod_cli: the tree's command-line front door, with three subcommands:
+// liod_cli: the tree's command-line front door, with four subcommands:
 //
 //   liod_cli run   [flags]   -- benchmark an index x dataset x workload combo
 //   liod_cli serve [flags]   -- socket KV server over a ShardedEngine
 //   liod_cli recover [flags] -- `run` with the crash-recovery demo forced on
+//   liod_cli stats [flags]   -- live stats of a running serve (wire stats op)
 //
 // A bare invocation (first argument is a --flag) still works as the historical
 // `run` with identical flags and output, printing a deprecation note to
@@ -70,6 +71,14 @@
 // durability is priced but not restart-recoverable. Shutdown drains the
 // admission queue (queued batches answered SHUTTING_DOWN) and checkpoints
 // through the engine before exiting.
+//
+// Live observability of a running serve (DESIGN.md "Live observability"):
+// --metrics-listen starts an HTTP endpoint serving /metrics (Prometheus),
+// /metrics.json, and /stats.json; --slow-op-us captures ops whose queue+
+// execute time crosses the threshold into a bounded ring. `liod_cli stats
+// --connect ...` fetches the same stats document over the KV socket itself
+// (the wire stats op) -- one-shot JSON, or a delta line per interval with
+// --watch N.
 
 #include <signal.h>
 #include <stdlib.h>
@@ -94,8 +103,10 @@
 #include "engine/sharded_engine.h"
 #include "recovery/durable_store.h"
 #include "recovery/recovery_manager.h"
+#include "server/kv_client.h"
 #include "server/kv_server.h"
 #include "storage/block_device.h"
+#include "telemetry/exporter.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/sampler.h"
 #include "telemetry/trace_recorder.h"
@@ -150,6 +161,13 @@ struct CliArgs {
   std::size_t server_workers = 4; ///< --workers: executor threads
   std::size_t server_queue = 64;  ///< --queue: admission queue bound
   std::string wal_dir;            ///< --wal-dir: stable durable-file directory
+  std::string metrics_listen;     ///< --metrics-listen unix:PATH | tcp:PORT
+  double slow_op_us = 0.0;        ///< --slow-op-us: capture threshold (0 = off)
+  std::size_t slow_op_cap = 128;  ///< --slow-op-cap: slow-op ring capacity
+
+  // --- stats-only ----------------------------------------------------------
+  std::string connect;      ///< --connect unix:PATH | tcp:[HOST:]PORT
+  std::size_t watch = 0;    ///< --watch N: re-poll every N seconds (0 = once)
 };
 
 void Usage() {
@@ -187,7 +205,13 @@ void Usage() {
       "           --progress (stderr heartbeat; --csv stdout stays clean)\n"
       "serve:     --listen unix:PATH|tcp:PORT --workers N --queue N\n"
       "           --wal-dir DIR (stable WAL/checkpoint files; enables restart\n"
-      "             recovery) --recover (rebuild from --wal-dir before listening)\n");
+      "             recovery) --recover (rebuild from --wal-dir before listening)\n"
+      "           --metrics-listen unix:PATH|tcp:PORT (live HTTP endpoint:\n"
+      "             /metrics Prometheus text, /metrics.json, /stats.json)\n"
+      "           --slow-op-us THRESH (capture ops over THRESH us queue+execute\n"
+      "             in a bounded ring) --slow-op-cap N (ring size, default 128)\n"
+      "stats:     --connect unix:PATH|tcp:[HOST:]PORT (wire stats op; prints the\n"
+      "             liod-stats/1 JSON) --watch N (re-poll every N s with deltas)\n");
 }
 
 bool Parse(int argc, char** argv, int start, CliArgs* args) {
@@ -275,6 +299,16 @@ bool Parse(int argc, char** argv, int start, CliArgs* args) {
       args->server_queue = std::strtoull(v, nullptr, 10);
     } else if (a == "--wal-dir") {
       args->wal_dir = v;
+    } else if (a == "--metrics-listen") {
+      args->metrics_listen = v;
+    } else if (a == "--slow-op-us") {
+      args->slow_op_us = std::strtod(v, nullptr);
+    } else if (a == "--slow-op-cap") {
+      args->slow_op_cap = std::strtoull(v, nullptr, 10);
+    } else if (a == "--connect") {
+      args->connect = v;
+    } else if (a == "--watch") {
+      args->watch = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -925,7 +959,10 @@ int ServeCommand(const CliArgs& args) {
   }
 
   TelemetryContext telemetry;
-  if (!args.metrics_out.empty() || !args.sample_out.empty()) {
+  // The live endpoint serves the registry, so --metrics-listen implies one
+  // even without a file output.
+  if (!args.metrics_out.empty() || !args.sample_out.empty() ||
+      !args.metrics_listen.empty()) {
     telemetry.metrics = std::make_unique<MetricRegistry>();
   }
   if (!args.trace_out.empty()) {
@@ -1006,6 +1043,8 @@ int ServeCommand(const CliArgs& args) {
   server_options.queue_capacity = args.server_queue;
   server_options.metrics = telemetry.metrics.get();
   server_options.trace = telemetry.trace.get();
+  server_options.slow_op_us = args.slow_op_us;
+  server_options.slow_op_capacity = args.slow_op_cap;
 
   // Block the shutdown signals BEFORE Start so every server thread inherits
   // the mask and delivery funnels into this thread's sigwait.
@@ -1035,6 +1074,35 @@ int ServeCommand(const CliArgs& args) {
                  engine.num_shards());
   }
 
+  // The live observability endpoint starts after the server so /stats.json
+  // (which proxies KvServer::StatsJson) never races Start; it stops before
+  // the drain completes so no scrape runs against a checkpointing engine.
+  MetricsExporter exporter([&] {
+    ExporterOptions exporter_options;
+    if (args.metrics_listen.rfind("unix:", 0) == 0 && args.metrics_listen.size() > 5) {
+      exporter_options.unix_path = args.metrics_listen.substr(5);
+    } else if (args.metrics_listen.rfind("tcp:", 0) == 0 && args.metrics_listen.size() > 4) {
+      exporter_options.tcp_port = std::atoi(args.metrics_listen.c_str() + 4);
+    }
+    exporter_options.registry = telemetry.metrics.get();
+    return exporter_options;
+  }());
+  if (!args.metrics_listen.empty()) {
+    if (args.metrics_listen.rfind("unix:", 0) != 0 &&
+        args.metrics_listen.rfind("tcp:", 0) != 0) {
+      std::fprintf(stderr, "--metrics-listen requires unix:PATH or tcp:PORT\n");
+      return 2;
+    }
+    exporter.AddJsonHandler("/stats.json", [&server] { return server.StatsJson(); });
+    if (const Status status = exporter.Start(); !status.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "liod_cli serve: metrics on %s (/metrics, /metrics.json, /stats.json)\n",
+                 args.metrics_listen.c_str());
+  }
+
   // The sampler starts once every metric (engine + server) is registered, so
   // its frozen CSV columns cover the server.* namespace too.
   if (!args.sample_out.empty() && telemetry.metrics != nullptr) {
@@ -1047,6 +1115,7 @@ int ServeCommand(const CliArgs& args) {
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "liod_cli serve: caught signal %d, draining\n", sig);
 
+  exporter.Shutdown();
   const Status down = server.Shutdown();
   const server::ServerCounters counters = server.counters();
   std::fprintf(stderr,
@@ -1066,6 +1135,83 @@ int ServeCommand(const CliArgs& args) {
   return telemetry_rc;
 }
 
+/// Extracts the first `"key":<number>` from a JSON document. The stats
+/// schema keeps its scalar key names unique document-wide exactly so a
+/// watch-mode client needs string search, not a JSON parser.
+double FindJsonNumber(const std::string& json, const std::string& key, bool* found) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    if (found != nullptr) *found = false;
+    return 0.0;
+  }
+  if (found != nullptr) *found = true;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// `stats`: fetch the server's live stats document over the wire stats op.
+/// One-shot prints the raw JSON (pipe into a JSON tool); --watch N re-polls
+/// every N seconds and prints one delta line per interval.
+int StatsCommand(const CliArgs& args) {
+  if (args.connect.empty()) {
+    std::fprintf(stderr, "stats requires --connect unix:PATH or tcp:[HOST:]PORT\n");
+    Usage();
+    return 2;
+  }
+  server::KvClient client;
+  Status status;
+  if (args.connect.rfind("unix:", 0) == 0 && args.connect.size() > 5) {
+    status = client.ConnectUnix(args.connect.substr(5));
+  } else if (args.connect.rfind("tcp:", 0) == 0 && args.connect.size() > 4) {
+    const std::string rest = args.connect.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    const std::string host = colon == std::string::npos ? "127.0.0.1" : rest.substr(0, colon);
+    const int port = std::atoi(colon == std::string::npos ? rest.c_str()
+                                                          : rest.c_str() + colon + 1);
+    status = client.ConnectTcp(host, port);
+  } else {
+    std::fprintf(stderr, "stats requires --connect unix:PATH or tcp:[HOST:]PORT\n");
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::string json;
+  if (const Status s = client.Stats(&json); !s.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (args.watch == 0) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  // Watch mode: per-interval deltas from the monotonically growing counters.
+  double prev_ops = FindJsonNumber(json, "ops_executed", nullptr);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(args.watch));
+    if (const Status s = client.Stats(&json); !s.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const double ops = FindJsonNumber(json, "ops_executed", nullptr);
+    const double rate = (ops - prev_ops) / static_cast<double>(args.watch);
+    prev_ops = ops;
+    std::printf("ops=%.0f (%.1f ops/s) queue=%.0f/%.0f queue_wait_p99=%.1fus "
+                "execute_p99=%.1fus overloaded=%.0f slow=%.0f (dropped %.0f)\n",
+                ops, rate, FindJsonNumber(json, "queue_depth", nullptr),
+                FindJsonNumber(json, "queue_capacity", nullptr),
+                FindJsonNumber(json, "queue_wait_p99_us", nullptr),
+                FindJsonNumber(json, "execute_p99_us", nullptr),
+                FindJsonNumber(json, "batches_overloaded", nullptr),
+                FindJsonNumber(json, "recorded", nullptr),
+                FindJsonNumber(json, "dropped", nullptr));
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1074,7 +1220,8 @@ int main(int argc, char** argv) {
   if (argc > 1 && argv[1][0] != '-') {
     command = argv[1];
     flag_start = 2;
-    if (command != "run" && command != "serve" && command != "recover") {
+    if (command != "run" && command != "serve" && command != "recover" &&
+        command != "stats") {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       Usage();
       return 2;
@@ -1090,6 +1237,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (command == "serve") return ServeCommand(args);
+  if (command == "stats") return StatsCommand(args);
   if (command == "recover") args.recover = true;
   return RunCommand(args);
 }
